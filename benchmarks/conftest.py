@@ -1,0 +1,18 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one figure/table of the paper at a reduced scale
+(the ``SCALE`` constant) so that a full ``pytest benchmarks/ --benchmark-only``
+run completes in a few minutes.  Set ``REPRO_BENCH_SCALE=1.0`` in the
+environment to reproduce the paper's full trial counts.
+"""
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return SCALE

@@ -1,0 +1,16 @@
+"""Section 7.1 microbenchmark: coding/decoding cost per 1500-byte packet.
+
+Regenerates the figure's series via :func:`repro.experiments.coding_microbenchmark` and
+prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+"""
+
+from repro.experiments import coding_microbenchmark, format_table
+
+
+def test_coding_microbench(benchmark, scale):
+    rows = benchmark.pedantic(
+        coding_microbenchmark, kwargs={"scale": scale}, iterations=1, rounds=1
+    )
+    assert all(r['encode_us_per_packet'] > 0 for r in rows)
+    print()
+    print(format_table(rows))

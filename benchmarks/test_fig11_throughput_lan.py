@@ -1,0 +1,17 @@
+"""Fig. 11: LAN throughput vs. path length; information slicing (d=2) beats
+onion routing at every path length.
+
+Regenerates the figure's series via :func:`repro.experiments.figure11_throughput_lan` and
+prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+"""
+
+from repro.experiments import figure11_throughput_lan, format_table
+
+
+def test_fig11_throughput_lan(benchmark, scale):
+    rows = benchmark.pedantic(
+        figure11_throughput_lan, kwargs={"scale": scale}, iterations=1, rounds=1
+    )
+    assert all(r['slicing_mbps'] > r['onion_mbps'] for r in rows)
+    print()
+    print(format_table(rows))

@@ -1,0 +1,16 @@
+"""Fig. 12: PlanetLab-profile throughput vs. path length; slicing wins.
+
+Regenerates the figure's series via :func:`repro.experiments.figure12_throughput_wan` and
+prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+"""
+
+from repro.experiments import figure12_throughput_wan, format_table
+
+
+def test_fig12_throughput_wan(benchmark, scale):
+    rows = benchmark.pedantic(
+        figure12_throughput_wan, kwargs={"scale": scale}, iterations=1, rounds=1
+    )
+    assert all(r['slicing_mbps'] > r['onion_mbps'] for r in rows)
+    print()
+    print(format_table(rows))

@@ -1,0 +1,16 @@
+"""Fig. 15: PlanetLab-profile route-setup latency vs. path length and d.
+
+Regenerates the figure's series via :func:`repro.experiments.figure15_setup_latency_wan` and
+prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+"""
+
+from repro.experiments import figure15_setup_latency_wan, format_table
+
+
+def test_fig15_setup_wan(benchmark, scale):
+    rows = benchmark.pedantic(
+        figure15_setup_latency_wan, kwargs={"scale": scale}, iterations=1, rounds=1
+    )
+    assert all(r['slicing_d2_seconds'] < r['slicing_d4_seconds'] for r in rows)
+    print()
+    print(format_table(rows))

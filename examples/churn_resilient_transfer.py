@@ -1,0 +1,69 @@
+"""Churn-resilient anonymous file transfer (§4.4, §8).
+
+A long transfer over a flaky peer-to-peer overlay: relays die mid-session.
+With redundancy (d' > d) and in-network regeneration, the transfer completes
+anyway; the same failures kill a no-redundancy flow.  This is the scenario
+behind Fig. 17.
+
+Run with:  python examples/churn_resilient_transfer.py
+"""
+
+import numpy as np
+
+from repro.core import Source
+from repro.overlay import LocalOverlay
+
+
+def run_transfer(d: int, d_prime: int, kill_per_stage: int, seed: int = 3) -> int:
+    """Send 20 chunks of a file while killing relays; return chunks delivered."""
+    rng = np.random.default_rng(seed)
+    overlay = LocalOverlay()
+    relays = [f"peer-{i}" for i in range(80)]
+    overlay.add_nodes(relays + ["receiver"])
+    source = Source(
+        "sender-home",
+        [f"sender-alt-{i}" for i in range(d_prime - 1)],
+        d=d,
+        d_prime=d_prime,
+        path_length=5,
+        rng=rng,
+    )
+    flow = source.establish_flow(relays, "receiver")
+    overlay.inject(flow.setup_packets)
+
+    file_chunks = [bytes([i]) * 4096 for i in range(20)]
+    for index, chunk in enumerate(file_chunks):
+        # Halfway through, churn strikes: one relay per stage disappears.
+        if index == len(file_chunks) // 2:
+            for stage in flow.graph.stages[1:]:
+                victims = [node for node in stage if node != "receiver"]
+                for victim in victims[:kill_per_stage]:
+                    overlay.fail_node(victim)
+        overlay.inject(source.make_data_packets(flow, chunk))
+        overlay.flush_flow(flow)
+
+    delivered = overlay.node("receiver").delivered_messages(
+        flow.plan.flow_ids["receiver"]
+    )
+    correct = sum(
+        1 for seq, chunk in enumerate(file_chunks) if delivered.get(seq) == chunk
+    )
+    return correct
+
+
+def main() -> None:
+    print("20-chunk transfer over an overlay that loses one relay per stage:")
+    plain = run_transfer(d=2, d_prime=2, kill_per_stage=1)
+    print(f"  no redundancy   (d=2, d'=2): {plain}/20 chunks delivered")
+    coded = run_transfer(d=2, d_prime=3, kill_per_stage=1)
+    print(f"  with redundancy (d=2, d'=3): {coded}/20 chunks delivered")
+    print()
+    print(
+        "The redundant flow keeps going because surviving relays regenerate\n"
+        "lost slices with network coding (§4.4.1); the plain flow stalls as\n"
+        "soon as any stage loses a node."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Anonymity evaluation: entropy metric, attacker model, analysis, Monte Carlo."""
+
+from .analysis import (
+    destination_case1_probability,
+    expected_destination_anonymity,
+    expected_source_anonymity,
+    redundancy_overhead,
+    source_case1_probability,
+)
+from .attacker import AttackerView, StageLayout, sample_stage_layout
+from .metrics import (
+    degree_of_anonymity,
+    entropy,
+    information_bits_missing,
+    max_entropy,
+    two_level_anonymity,
+)
+from .simulation import (
+    AnonymityResult,
+    destination_anonymity_for_view,
+    simulate_anonymity,
+    source_anonymity_for_view,
+    sweep_malicious_fraction,
+    sweep_path_length,
+    sweep_redundancy,
+    sweep_split_factor,
+)
+
+__all__ = [
+    "entropy",
+    "max_entropy",
+    "degree_of_anonymity",
+    "two_level_anonymity",
+    "information_bits_missing",
+    "StageLayout",
+    "AttackerView",
+    "sample_stage_layout",
+    "AnonymityResult",
+    "simulate_anonymity",
+    "source_anonymity_for_view",
+    "destination_anonymity_for_view",
+    "sweep_malicious_fraction",
+    "sweep_split_factor",
+    "sweep_path_length",
+    "sweep_redundancy",
+    "source_case1_probability",
+    "destination_case1_probability",
+    "expected_source_anonymity",
+    "expected_destination_anonymity",
+    "redundancy_overhead",
+]

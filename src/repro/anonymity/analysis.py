@@ -1,0 +1,118 @@
+"""Analytical anonymity models from Appendix A.
+
+These closed-form expressions complement the Monte-Carlo simulation: they
+give the probability of the catastrophic "Case 1" events (the attacker
+decodes the graph and anonymity collapses to zero) and the conditional
+probability assignments of Eqs. 8 and 11, including the redundancy-aware
+variants of Appendix A.3 used for Fig. 10.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .metrics import two_level_anonymity
+
+
+def _g(x: int, y: int, z: float) -> float:
+    """The helper ``g(x, y, z) = Σ_{i=1..y} C(x, i) z^i (1-z)^(x-i)`` (App. A.2)."""
+    return sum(
+        math.comb(x, i) * (z**i) * ((1.0 - z) ** (x - i)) for i in range(1, y + 1)
+    )
+
+
+def source_case1_probability(
+    f: float, d: int, d_prime: int | None = None
+) -> float:
+    """Probability the attacker controls enough of stage 1 to unmask the source.
+
+    Without redundancy this is ``f^d`` (all of stage 1 malicious).  With
+    redundancy ``d' > d`` the attacker needs only ``d`` of the ``d'`` relays
+    in stage 1 (Appendix A.3).
+    """
+    d_prime = d if d_prime is None else d_prime
+    return sum(
+        math.comb(d_prime, i) * (f**i) * ((1.0 - f) ** (d_prime - i))
+        for i in range(d, d_prime + 1)
+    )
+
+
+def destination_case1_probability(
+    f: float, d: int, path_length: int, d_prime: int | None = None
+) -> float:
+    """Probability some stage upstream of the destination is fully decodable.
+
+    Implements Eqs. 9, 10 and, when ``d' > d``, Eq. 12: the destination sits
+    in stage ``j + 1`` with probability ``1/L`` and the attacker wins if at
+    least one of the ``j`` upstream stages contains ``d`` (of ``d'``)
+    malicious relays.
+    """
+    d_prime = d if d_prime is None else d_prime
+    per_stage = source_case1_probability(f, d, d_prime)
+    if per_stage <= 0:
+        return 0.0
+    total = 0.0
+    for j in range(0, path_length):
+        # Destination in stage j+1; attacker needs >=1 decodable stage among j.
+        p_fail = 1.0 - (1.0 - per_stage) ** j
+        total += p_fail
+    return total / path_length
+
+
+def expected_source_anonymity(
+    num_nodes: int,
+    path_length: int,
+    d: int,
+    f: float,
+    chain_length: float,
+    d_prime: int | None = None,
+) -> float:
+    """Source anonymity for a given exposed-chain length ``s`` (Eq. 8 + Eq. 5).
+
+    ``chain_length`` is the attacker's longest run of exposed stages; the
+    Monte-Carlo simulation estimates its distribution, but this helper is
+    useful for sensitivity studies and tests.
+    """
+    d_prime = d if d_prime is None else d_prime
+    s = min(int(round(chain_length)), path_length - 1)
+    if s <= 0:
+        clean = int(num_nodes * (1.0 - f))
+        return two_level_anonymity(0, 0.0, clean, 1.0 / max(clean, 1), num_nodes)
+    gamma_mass = 1.0 / max(path_length - s + 2, 2)
+    gamma_size = d_prime
+    p_gamma = gamma_mass / gamma_size
+    others = max(int(num_nodes * (1.0 - f)) - gamma_size, 1)
+    p_other = (1.0 - gamma_mass) / others
+    anonymity = two_level_anonymity(gamma_size, p_gamma, others, p_other, num_nodes)
+    case1 = source_case1_probability(f, d, d_prime)
+    return (1.0 - case1) * anonymity
+
+
+def expected_destination_anonymity(
+    num_nodes: int,
+    path_length: int,
+    d: int,
+    f: float,
+    chain_length: float,
+    d_prime: int | None = None,
+) -> float:
+    """Destination anonymity for a given exposed-chain length (Eq. 11 + Eq. 5)."""
+    d_prime = d if d_prime is None else d_prime
+    s = min(int(round(chain_length)), path_length)
+    if s <= 0:
+        clean = int(num_nodes * (1.0 - f))
+        return two_level_anonymity(0, 0.0, clean, 1.0 / max(clean, 1), num_nodes)
+    suspects = max(int(s * d_prime * (1.0 - f)), 1)
+    p_suspect = 1.0 / (path_length * d_prime * (1.0 - f))
+    others = max(int((num_nodes - s * d_prime) * (1.0 - f)), 1)
+    p_other = (1.0 - s / path_length) / others
+    anonymity = two_level_anonymity(suspects, p_suspect, others, p_other, num_nodes)
+    case1 = destination_case1_probability(f, d, path_length, d_prime)
+    return (1.0 - case1) * anonymity
+
+
+def redundancy_overhead(d: int, d_prime: int) -> float:
+    """Added redundancy R = (d' - d)/d (§4.4, §8.1)."""
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    return (d_prime - d) / d

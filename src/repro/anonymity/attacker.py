@@ -1,0 +1,161 @@
+"""Colluding-attacker view of a forwarding graph (§6.2, Appendix A).
+
+The adversary controls a fraction ``f`` of the overlay.  A malicious relay
+learns its parents (the full previous stage), its children (the full next
+stage), and nothing else: slice contents are pi-secure and flow-ids change at
+every hop, so malicious relays can link their observations only when they sit
+in *consecutive* stages of the same graph.
+
+:class:`AttackerView` condenses everything the colluding set can derive from
+a particular graph instance:
+
+* which stages are *exposed* (their full membership is visible),
+* the longest run ``s`` of consecutive exposed stages and its first stage
+  ``Γ`` (the attacker's best guess at the source stage),
+* whether some stage is *decodable* — at least ``d`` of its ``d'`` members
+  are malicious, letting the attacker pool slices and decode the entire
+  downstream graph (Case 1 of the appendix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StageLayout:
+    """A lightweight stand-in for a forwarding graph used in anonymity studies.
+
+    ``malicious[l][i]`` says whether node ``i`` of stage ``l`` is controlled
+    by the attacker.  Stage 0 is the source stage, which is never malicious
+    (the source uses its own machines).  ``destination_stage`` /
+    ``destination_position`` locate the receiver.
+    """
+
+    malicious: tuple[tuple[bool, ...], ...]
+    destination_stage: int
+    destination_position: int
+    d: int
+    d_prime: int
+
+    @property
+    def path_length(self) -> int:
+        return len(self.malicious) - 1
+
+    def stage_malicious_count(self, stage: int) -> int:
+        return sum(self.malicious[stage])
+
+    def stage_has_malicious(self, stage: int) -> bool:
+        return any(self.malicious[stage])
+
+
+def sample_stage_layout(
+    path_length: int,
+    d: int,
+    fraction_malicious: float,
+    rng: np.random.Generator,
+    d_prime: int | None = None,
+) -> StageLayout:
+    """Sample one random graph instance for the Monte-Carlo anonymity study.
+
+    Relays are drawn from a large overlay in which a fraction ``f`` of nodes
+    is malicious, so each relay slot is malicious independently with
+    probability ``f``.  The source stage is clean by assumption (§3c) and the
+    destination is placed uniformly at random among the relay slots, and is
+    of course not malicious.
+    """
+    d_prime = d if d_prime is None else d_prime
+    stages: list[tuple[bool, ...]] = [tuple([False] * d_prime)]
+    flags = rng.random((path_length, d_prime)) < fraction_malicious
+    destination_stage = int(rng.integers(1, path_length + 1))
+    destination_position = int(rng.integers(0, d_prime))
+    for stage_index in range(1, path_length + 1):
+        row = list(flags[stage_index - 1])
+        if stage_index == destination_stage:
+            row[destination_position] = False
+        stages.append(tuple(bool(x) for x in row))
+    return StageLayout(
+        malicious=tuple(stages),
+        destination_stage=destination_stage,
+        destination_position=destination_position,
+        d=d,
+        d_prime=d_prime,
+    )
+
+
+@dataclass
+class AttackerView:
+    """What a colluding adversary can infer from one graph instance."""
+
+    layout: StageLayout
+    exposed_stages: tuple[bool, ...]
+    longest_chain_start: int
+    longest_chain_length: int
+    first_stage_decodable: bool
+    decodable_stage_before_destination: bool
+
+    @property
+    def chain_stages(self) -> range:
+        return range(
+            self.longest_chain_start,
+            self.longest_chain_start + self.longest_chain_length,
+        )
+
+    @classmethod
+    def from_layout(cls, layout: StageLayout) -> "AttackerView":
+        num_stages = len(layout.malicious)  # L + 1 including the source stage
+        # Stage j is exposed when the attacker has a vantage point onto it: a
+        # malicious node in stage j itself, a malicious child (which sees all
+        # of stage j as its parents) or a malicious parent (which sees all of
+        # stage j as its children).
+        exposed = []
+        for stage in range(num_stages):
+            own = layout.stage_has_malicious(stage) if stage >= 1 else False
+            before = stage - 1 >= 1 and layout.stage_has_malicious(stage - 1)
+            after = stage + 1 < num_stages and layout.stage_has_malicious(stage + 1)
+            exposed.append(own or before or after)
+        start, length = _longest_true_run(exposed)
+
+        # Case-1 conditions: the attacker decodes everything downstream of a
+        # stage in which it controls at least d of the d' relays.
+        first_stage_decodable = layout.stage_malicious_count(1) >= layout.d
+        decodable_before_destination = any(
+            layout.stage_malicious_count(stage) >= layout.d
+            for stage in range(1, layout.destination_stage)
+        )
+        return cls(
+            layout=layout,
+            exposed_stages=tuple(exposed),
+            longest_chain_start=start,
+            longest_chain_length=length,
+            first_stage_decodable=first_stage_decodable,
+            decodable_stage_before_destination=decodable_before_destination,
+        )
+
+    def known_relay_count(self) -> int:
+        """Number of relay slots inside the longest exposed chain."""
+        relay_stages = [
+            stage for stage in self.chain_stages if 1 <= stage <= self.layout.path_length
+        ]
+        return len(relay_stages) * self.layout.d_prime
+
+    def destination_in_chain(self) -> bool:
+        return self.layout.destination_stage in self.chain_stages
+
+
+def _longest_true_run(values: list[bool]) -> tuple[int, int]:
+    """Return (start, length) of the longest run of True values."""
+    best_start, best_length = 0, 0
+    current_start, current_length = 0, 0
+    for index, value in enumerate(values):
+        if value:
+            if current_length == 0:
+                current_start = index
+            current_length += 1
+            if current_length > best_length:
+                best_start, best_length = current_start, current_length
+        else:
+            current_length = 0
+    return best_start, best_length

@@ -1,0 +1,223 @@
+"""Monte-Carlo anonymity evaluation (§6.2, §6.3).
+
+For each trial we sample a forwarding-graph instance from an overlay with a
+fraction ``f`` of colluding malicious nodes, derive the attacker's view, and
+apply the probability assignments of Appendix A to compute source and
+destination anonymity via the entropy metric (Eq. 5).  The reported value is
+the average over many trials, exactly as in the paper (1000 trials per data
+point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .attacker import AttackerView, StageLayout, sample_stage_layout
+from .metrics import two_level_anonymity
+
+
+@dataclass(frozen=True)
+class AnonymityResult:
+    """Average anonymity over a batch of Monte-Carlo trials."""
+
+    source_anonymity: float
+    destination_anonymity: float
+    trials: int
+    source_case1_rate: float
+    destination_case1_rate: float
+
+
+def source_anonymity_for_view(
+    view: AttackerView, num_nodes: int, fraction_malicious: float
+) -> float:
+    """Source anonymity of one graph instance (Appendix A.1)."""
+    layout = view.layout
+    if view.first_stage_decodable:
+        return 0.0
+    s = view.longest_chain_length
+    path_length = layout.path_length
+    if s <= 0:
+        clean = max(int(num_nodes * (1.0 - fraction_malicious)), 1)
+        return two_level_anonymity(0, 0.0, clean, 1.0 / clean, num_nodes)
+    # The attacker's best guess for the source stage is the first stage of its
+    # longest exposed chain (Eq. 8): the chain of s exposed stages can start
+    # at any of (L + 1) - s + 1 positions among the L + 1 stages, so the first
+    # exposed stage is the source stage with probability 1/(L - s + 2), shared
+    # equally among its d' candidate nodes.
+    denominator = max(path_length - s + 2, 2)
+    gamma_mass = 1.0 / denominator
+    gamma_size = layout.d_prime
+    p_gamma = gamma_mass / gamma_size
+    others = max(int(num_nodes * (1.0 - fraction_malicious)) - gamma_size, 1)
+    p_other = max(1.0 - gamma_mass, 0.0) / others
+    return two_level_anonymity(gamma_size, p_gamma, others, p_other, num_nodes)
+
+
+def destination_anonymity_for_view(
+    view: AttackerView, num_nodes: int, fraction_malicious: float
+) -> float:
+    """Destination anonymity of one graph instance (Appendix A.2)."""
+    layout = view.layout
+    if view.decodable_stage_before_destination:
+        return 0.0
+    s = view.longest_chain_length
+    path_length = layout.path_length
+    if s <= 0:
+        clean = max(int(num_nodes * (1.0 - fraction_malicious)), 1)
+        return two_level_anonymity(0, 0.0, clean, 1.0 / clean, num_nodes)
+    s = min(s, path_length)
+    suspects = max(int(s * layout.d_prime * (1.0 - fraction_malicious)), 1)
+    p_suspect = 1.0 / (path_length * layout.d_prime * (1.0 - fraction_malicious))
+    others = max(
+        int((num_nodes - s * layout.d_prime) * (1.0 - fraction_malicious)), 1
+    )
+    p_other = max(1.0 - s / path_length, 0.0) / others
+    return two_level_anonymity(suspects, p_suspect, others, p_other, num_nodes)
+
+
+def simulate_anonymity(
+    num_nodes: int,
+    path_length: int,
+    d: int,
+    fraction_malicious: float,
+    trials: int = 1000,
+    rng: np.random.Generator | None = None,
+    d_prime: int | None = None,
+) -> AnonymityResult:
+    """Run the paper's Monte-Carlo anonymity experiment for one parameter point.
+
+    Parameters mirror Table 1: ``num_nodes`` is N, ``path_length`` is L,
+    ``d`` the split factor, ``fraction_malicious`` is f, and ``d_prime``
+    enables the redundancy study of Fig. 10.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    d_prime = d if d_prime is None else d_prime
+    src_total = 0.0
+    dst_total = 0.0
+    src_case1 = 0
+    dst_case1 = 0
+    for _ in range(trials):
+        layout = sample_stage_layout(
+            path_length=path_length,
+            d=d,
+            fraction_malicious=fraction_malicious,
+            rng=rng,
+            d_prime=d_prime,
+        )
+        view = AttackerView.from_layout(layout)
+        src_case1 += int(view.first_stage_decodable)
+        dst_case1 += int(view.decodable_stage_before_destination)
+        src_total += source_anonymity_for_view(view, num_nodes, fraction_malicious)
+        dst_total += destination_anonymity_for_view(
+            view, num_nodes, fraction_malicious
+        )
+    return AnonymityResult(
+        source_anonymity=src_total / trials,
+        destination_anonymity=dst_total / trials,
+        trials=trials,
+        source_case1_rate=src_case1 / trials,
+        destination_case1_rate=dst_case1 / trials,
+    )
+
+
+def sweep_malicious_fraction(
+    num_nodes: int,
+    path_length: int,
+    d: int,
+    fractions: list[float],
+    trials: int = 1000,
+    seed: int = 1,
+    d_prime: int | None = None,
+) -> list[tuple[float, AnonymityResult]]:
+    """Fig. 7 sweep: anonymity as a function of the malicious fraction."""
+    results = []
+    for index, fraction in enumerate(fractions):
+        rng = np.random.default_rng(seed + index)
+        results.append(
+            (
+                fraction,
+                simulate_anonymity(
+                    num_nodes, path_length, d, fraction, trials, rng, d_prime
+                ),
+            )
+        )
+    return results
+
+
+def sweep_split_factor(
+    num_nodes: int,
+    path_length: int,
+    split_factors: list[int],
+    fraction_malicious: float,
+    trials: int = 1000,
+    seed: int = 2,
+) -> list[tuple[int, AnonymityResult]]:
+    """Fig. 8 sweep: anonymity as a function of the split factor d."""
+    results = []
+    for index, d in enumerate(split_factors):
+        rng = np.random.default_rng(seed + index)
+        results.append(
+            (
+                d,
+                simulate_anonymity(
+                    num_nodes, path_length, d, fraction_malicious, trials, rng
+                ),
+            )
+        )
+    return results
+
+
+def sweep_path_length(
+    num_nodes: int,
+    path_lengths: list[int],
+    d: int,
+    fraction_malicious: float,
+    trials: int = 1000,
+    seed: int = 3,
+) -> list[tuple[int, AnonymityResult]]:
+    """Fig. 9 sweep: anonymity as a function of the path length L."""
+    results = []
+    for index, path_length in enumerate(path_lengths):
+        rng = np.random.default_rng(seed + index)
+        results.append(
+            (
+                path_length,
+                simulate_anonymity(
+                    num_nodes, path_length, d, fraction_malicious, trials, rng
+                ),
+            )
+        )
+    return results
+
+
+def sweep_redundancy(
+    num_nodes: int,
+    path_length: int,
+    d: int,
+    d_primes: list[int],
+    fraction_malicious: float,
+    trials: int = 1000,
+    seed: int = 4,
+) -> list[tuple[float, AnonymityResult]]:
+    """Fig. 10 sweep: anonymity as a function of added redundancy (d'-d)/d."""
+    results = []
+    for index, d_prime in enumerate(d_primes):
+        rng = np.random.default_rng(seed + index)
+        redundancy = (d_prime - d) / d
+        results.append(
+            (
+                redundancy,
+                simulate_anonymity(
+                    num_nodes,
+                    path_length,
+                    d,
+                    fraction_malicious,
+                    trials,
+                    rng,
+                    d_prime=d_prime,
+                ),
+            )
+        )
+    return results

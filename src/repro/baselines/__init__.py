@@ -1,0 +1,26 @@
+"""Baseline systems: onion routing, onion + erasure codes, Chaum mixes."""
+
+from .chaum import ChaumAnonymityResult, simulate_chaum_anonymity, sweep_chaum_anonymity
+from .erasure import ErasureCoder, ErasureShare
+from .onion import OnionCircuit, OnionDirectory, OnionRelay, OnionSource, run_circuit
+from .onion_erasure import (
+    MultiPathCircuits,
+    OnionErasureSource,
+    run_multipath_transfer,
+)
+
+__all__ = [
+    "OnionDirectory",
+    "OnionSource",
+    "OnionRelay",
+    "OnionCircuit",
+    "run_circuit",
+    "ErasureCoder",
+    "ErasureShare",
+    "OnionErasureSource",
+    "MultiPathCircuits",
+    "run_multipath_transfer",
+    "ChaumAnonymityResult",
+    "simulate_chaum_anonymity",
+    "sweep_chaum_anonymity",
+]

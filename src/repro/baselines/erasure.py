@@ -1,0 +1,62 @@
+"""Erasure coding over message shares (Reed–Solomon-style, MDS).
+
+Used by the "onion routing with erasure codes" baseline (§8.1): the sender
+splits a message into ``d`` pieces, expands them to ``d'`` shares such that
+any ``d`` shares reconstruct the message, and ships one share down each of
+``d'`` independent onion circuits.  The codes are the same MDS (Cauchy)
+generator matrices as information slicing's redundancy layer, so the two
+schemes carry *exactly* the same overhead — the comparison isolates where the
+redundancy lives (end-to-end paths vs. per-stage regeneration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.coder import CodedBlock, SliceCoder
+from ..core.errors import CodingError
+
+
+@dataclass(frozen=True)
+class ErasureShare:
+    """One share of an erasure-coded message."""
+
+    index: int
+    block: CodedBlock
+
+    def to_bytes(self) -> bytes:
+        return bytes([self.index]) + self.block.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes, d: int) -> "ErasureShare":
+        if not data:
+            raise CodingError("empty erasure share")
+        return cls(index=data[0], block=CodedBlock.from_bytes(data[1:], d=d, index=data[0]))
+
+
+class ErasureCoder:
+    """Encode a message into ``d'`` shares, any ``d`` of which reconstruct it."""
+
+    def __init__(self, d: int, d_prime: int) -> None:
+        if d_prime < d:
+            raise CodingError(f"d' ({d_prime}) must be >= d ({d})")
+        self.d = d
+        self.d_prime = d_prime
+        self._coder = SliceCoder(d, d_prime)
+
+    def encode(self, message: bytes, rng: np.random.Generator) -> list[ErasureShare]:
+        blocks = self._coder.encode(message, rng)
+        return [ErasureShare(index=i, block=block) for i, block in enumerate(blocks)]
+
+    def decode(self, shares: list[ErasureShare]) -> bytes:
+        return self._coder.decode([share.block for share in shares])
+
+    def can_decode(self, shares: list[ErasureShare]) -> bool:
+        return self._coder.can_decode([share.block for share in shares])
+
+    @property
+    def overhead(self) -> float:
+        """Redundancy overhead R = (d' - d)/d."""
+        return (self.d_prime - self.d) / self.d

@@ -1,0 +1,309 @@
+"""Message slicing, coding, and decoding (§4.1, §4.3.2, §4.4).
+
+The :class:`SliceCoder` turns an arbitrary byte string into ``d'`` coded
+*blocks*, each tagged with the coefficient row that produced it.  Any ``d``
+blocks with linearly independent rows suffice to reconstruct the message;
+fewer reveal nothing (pi-security, Lemma 5.1).
+
+Pipeline (encode):
+
+1. pad the message to a multiple of ``d`` and prefix its true length;
+2. reshape into a ``d x k`` matrix ``M`` over GF(2^8) — row ``i`` is message
+   piece ``m_i``;
+3. multiply by the ``d' x d`` coding matrix: ``C = A' @ M``;
+4. emit ``d'`` :class:`CodedBlock` objects, block ``i`` carrying row ``A'_i``
+   and coded payload ``C_i``.
+
+Decoding stacks any ``d`` independent rows into a square matrix, inverts it,
+recovers ``M``, strips the length prefix and padding.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import CodingError, InsufficientSlicesError
+from .gf import GF, GF256
+from .matrix import mds_matrix, random_invertible_matrix
+
+#: Number of bytes used to prefix the plaintext with its length.
+_LENGTH_PREFIX = 4
+
+
+@dataclass(frozen=True)
+class CodedBlock:
+    """One coded slice of a message: a coefficient row plus the coded payload.
+
+    ``coefficients`` has length ``d`` (the split factor used at encode time);
+    ``payload`` is the coded byte block.  ``index`` records which row of the
+    coding matrix produced this block — it is informational only and not
+    required for decoding.
+    """
+
+    coefficients: np.ndarray
+    payload: np.ndarray
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "coefficients", np.asarray(self.coefficients, dtype=np.uint8).reshape(-1)
+        )
+        object.__setattr__(
+            self, "payload", np.asarray(self.payload, dtype=np.uint8).reshape(-1)
+        )
+
+    @property
+    def d(self) -> int:
+        """Split factor this block was coded with."""
+        return int(self.coefficients.shape[0])
+
+    def to_bytes(self) -> bytes:
+        """Serialize as ``d`` coefficient bytes followed by the payload."""
+        return bytes(self.coefficients.tobytes()) + bytes(self.payload.tobytes())
+
+    @classmethod
+    def from_bytes(cls, data: bytes, d: int, index: int = -1) -> "CodedBlock":
+        """Parse a block serialized by :meth:`to_bytes` given the split factor."""
+        if len(data) < d:
+            raise CodingError(
+                f"coded block too short: {len(data)} bytes for split factor {d}"
+            )
+        coefficients = np.frombuffer(data[:d], dtype=np.uint8)
+        payload = np.frombuffer(data[d:], dtype=np.uint8)
+        return cls(coefficients=coefficients, payload=payload, index=index)
+
+    def size_bytes(self) -> int:
+        """Total serialized size in bytes."""
+        return int(self.coefficients.size + self.payload.size)
+
+
+def _pad_message(message: bytes, d: int) -> np.ndarray:
+    """Length-prefix and zero-pad ``message`` so it reshapes into ``d`` rows."""
+    prefixed = struct.pack(">I", len(message)) + message
+    remainder = len(prefixed) % d
+    if remainder:
+        prefixed += b"\x00" * (d - remainder)
+    return np.frombuffer(prefixed, dtype=np.uint8).reshape(d, -1, order="C")
+
+
+def _unpad_message(matrix: np.ndarray) -> bytes:
+    """Invert :func:`_pad_message`."""
+    flat = matrix.reshape(-1, order="C").tobytes()
+    if len(flat) < _LENGTH_PREFIX:
+        raise CodingError("decoded data shorter than the length prefix")
+    (length,) = struct.unpack(">I", flat[:_LENGTH_PREFIX])
+    body = flat[_LENGTH_PREFIX:]
+    if length > len(body):
+        raise CodingError(
+            f"decoded length prefix {length} exceeds available payload {len(body)}"
+        )
+    return body[:length]
+
+
+class SliceCoder:
+    """Encode and decode messages as random linear combinations over GF(2^8).
+
+    Parameters
+    ----------
+    d:
+        Split factor — the number of independent pieces the message is chopped
+        into.  Any ``d`` coded blocks reconstruct the message.
+    d_prime:
+        Total number of coded blocks emitted (``d_prime >= d``).  The extra
+        ``d_prime - d`` blocks are redundancy against churn (§4.4).  Defaults
+        to ``d`` (no redundancy).
+    field:
+        Finite field implementation (defaults to the shared GF(2^8) instance).
+    """
+
+    def __init__(self, d: int, d_prime: int | None = None, field: GF256 = GF) -> None:
+        if d < 1:
+            raise CodingError(f"split factor d must be >= 1, got {d}")
+        d_prime = d if d_prime is None else d_prime
+        if d_prime < d:
+            raise CodingError(f"d' ({d_prime}) must be >= d ({d})")
+        self.d = d
+        self.d_prime = d_prime
+        self.field = field
+
+    # -- encoding ----------------------------------------------------------------
+
+    def generate_matrix(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample a fresh coding matrix of shape ``(d', d)``.
+
+        With no redundancy this is a uniformly random invertible matrix (the
+        matrix ``A`` of Eq. 3); with redundancy it is an MDS matrix whose
+        every ``d``-row subset is invertible (the matrix ``A'`` of Eq. 4).
+        """
+        if self.d_prime == self.d:
+            return random_invertible_matrix(self.d, rng, field=self.field)
+        return mds_matrix(self.d_prime, self.d, rng=rng, field=self.field)
+
+    def encode(
+        self, message: bytes, rng: np.random.Generator, matrix: np.ndarray | None = None
+    ) -> list[CodedBlock]:
+        """Encode ``message`` into ``d'`` coded blocks.
+
+        A coding matrix is sampled unless ``matrix`` is supplied (it must then
+        have shape ``(d', d)``).
+        """
+        if matrix is None:
+            matrix = self.generate_matrix(rng)
+        matrix = np.asarray(matrix, dtype=np.uint8)
+        if matrix.shape != (self.d_prime, self.d):
+            raise CodingError(
+                f"coding matrix shape {matrix.shape} does not match "
+                f"(d'={self.d_prime}, d={self.d})"
+            )
+        pieces = _pad_message(bytes(message), self.d)
+        coded = self.field.matmul(matrix, pieces)
+        return [
+            CodedBlock(coefficients=matrix[i], payload=coded[i], index=i)
+            for i in range(self.d_prime)
+        ]
+
+    # -- decoding ----------------------------------------------------------------
+
+    def decode(self, blocks: list[CodedBlock]) -> bytes:
+        """Reconstruct the original message from any ``d`` independent blocks.
+
+        Raises :class:`InsufficientSlicesError` when fewer than ``d``
+        linearly independent blocks are available, and :class:`CodingError`
+        when block shapes are inconsistent.
+        """
+        independent = self.select_independent(blocks)
+        if len(independent) < self.d:
+            raise InsufficientSlicesError(self.d, len(independent))
+        rows = np.stack([b.coefficients for b in independent[: self.d]])
+        payloads = np.stack([b.payload for b in independent[: self.d]])
+        inverse = self.field.invert_matrix(rows)
+        pieces = self.field.matmul(inverse, payloads)
+        return _unpad_message(pieces)
+
+    def select_independent(self, blocks: list[CodedBlock]) -> list[CodedBlock]:
+        """Return a maximal linearly independent subset of ``blocks`` (greedy)."""
+        if not blocks:
+            return []
+        payload_len = blocks[0].payload.shape[0]
+        selected: list[CodedBlock] = []
+        rows: list[np.ndarray] = []
+        for block in blocks:
+            if block.coefficients.shape[0] != self.d:
+                raise CodingError(
+                    f"block coded with split factor {block.coefficients.shape[0]}, "
+                    f"decoder expects {self.d}"
+                )
+            if block.payload.shape[0] != payload_len:
+                raise CodingError("coded blocks have inconsistent payload lengths")
+            candidate = rows + [block.coefficients]
+            if self.field.rank(np.stack(candidate)) == len(candidate):
+                rows.append(block.coefficients)
+                selected.append(block)
+            if len(selected) == self.d:
+                break
+        return selected
+
+    def can_decode(self, blocks: list[CodedBlock]) -> bool:
+        """True iff ``blocks`` contain ``d`` linearly independent rows."""
+        try:
+            return len(self.select_independent(blocks)) >= self.d
+        except CodingError:
+            return False
+
+    # -- network coding (§4.4.1) ---------------------------------------------------
+
+    def recombine(
+        self, blocks: list[CodedBlock], rng: np.random.Generator
+    ) -> CodedBlock:
+        """Produce a fresh coded block as a random linear combination of ``blocks``.
+
+        This is the relay-side redundancy regeneration of §4.4.1: a relay that
+        received at least ``d`` blocks can synthesise replacements for blocks
+        lost upstream.  The combination coefficients are drawn uniformly at
+        random (non-zero for at least one input so the result is never the
+        zero block).
+        """
+        if not blocks:
+            raise CodingError("cannot recombine an empty block list")
+        payload_len = blocks[0].payload.shape[0]
+        for block in blocks:
+            if block.payload.shape[0] != payload_len:
+                raise CodingError("cannot recombine blocks of different payload lengths")
+            if block.coefficients.shape[0] != self.d:
+                raise CodingError("cannot recombine blocks with mismatched split factors")
+        while True:
+            weights = self.field.random_elements(len(blocks), rng)
+            if np.any(weights != 0):
+                break
+        coeff_stack = np.stack([b.coefficients for b in blocks])
+        payload_stack = np.stack([b.payload for b in blocks])
+        new_coeff = self.field.matmul(weights[None, :], coeff_stack)[0]
+        new_payload = self.field.matmul(weights[None, :], payload_stack)[0]
+        return CodedBlock(coefficients=new_coeff, payload=new_payload, index=-1)
+
+    def regenerate(
+        self, blocks: list[CodedBlock], count: int, rng: np.random.Generator
+    ) -> list[CodedBlock]:
+        """Create ``count`` recombined blocks (convenience wrapper)."""
+        return [self.recombine(blocks, rng) for _ in range(count)]
+
+    # -- information-theoretic mode (§5) -------------------------------------------
+
+    def encode_information_theoretic(
+        self, message: bytes, rng: np.random.Generator
+    ) -> list[CodedBlock]:
+        """Encode with the stronger information-theoretic scheme of §5.
+
+        Each of the ``d`` message pieces is mixed with ``d - 1`` uniformly
+        random pieces before coding, at a ``d``-fold space cost.  The output
+        is ``d' * d`` blocks grouped so that blocks ``[i*d, (i+1)*d)`` carry
+        piece ``i``; all blocks of all groups are required to reconstruct.
+        """
+        pieces = _pad_message(bytes(message), self.d)
+        blocks: list[CodedBlock] = []
+        sub_coder = SliceCoder(self.d, self.d_prime * 1, field=self.field)
+        for i in range(self.d):
+            # Mix the real piece with d-1 random pieces: the real piece is the
+            # XOR of all d sub-pieces, so every sub-piece is required.
+            randoms = self.field.random_elements((self.d - 1, pieces.shape[1]), rng)
+            real = pieces[i]
+            for row in randoms:
+                real = self.field.add(real, row)
+            group = np.concatenate([real[None, :], randoms], axis=0)
+            group_bytes = group.reshape(-1).tobytes()
+            blocks.extend(
+                CodedBlock(b.coefficients, b.payload, index=i * self.d_prime + b.index)
+                for b in sub_coder.encode(group_bytes, rng)
+            )
+        return blocks
+
+    def decode_information_theoretic(self, blocks: list[CodedBlock]) -> bytes:
+        """Inverse of :meth:`encode_information_theoretic`.
+
+        Blocks must be supplied grouped in the order they were produced (the
+        ``index`` attribute preserves grouping across shuffles).
+        """
+        if len(blocks) < self.d * self.d:
+            raise InsufficientSlicesError(self.d * self.d, len(blocks))
+        groups: dict[int, list[CodedBlock]] = {}
+        for block in blocks:
+            groups.setdefault(block.index // self.d_prime, []).append(block)
+        sub_coder = SliceCoder(self.d, self.d_prime, field=self.field)
+        recovered_rows: list[np.ndarray] = []
+        for i in range(self.d):
+            if i not in groups:
+                raise InsufficientSlicesError(self.d, len(groups))
+            group_bytes = sub_coder.decode(groups[i])
+            group = np.frombuffer(group_bytes, dtype=np.uint8).reshape(self.d, -1)
+            piece = group[0]
+            for row in group[1:]:
+                piece = self.field.add(piece, row)
+            recovered_rows.append(piece)
+        matrix = np.stack(recovered_rows)
+        return _unpad_message(matrix)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SliceCoder(d={self.d}, d_prime={self.d_prime})"

@@ -1,0 +1,154 @@
+"""Wire format for information-slicing packets (§4.3.3, Fig. 3).
+
+A packet carries, in cleartext, a flow id, and then a fixed number of
+*slices*.  Each slice is a coefficient row (``d`` bytes) followed by a coded
+block.  The first slice in every packet belongs to the node that receives the
+packet; the remaining slices are opaque payload destined for nodes further
+down the forwarding graph.
+
+All slices in a packet have the same size, and every packet of a flow carries
+the same number of slices, so packet sizes are constant along the path
+(§9.4(c)).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+from .coder import CodedBlock
+from .errors import PacketFormatError
+
+# flow_id, kind, slice_count, slice_bytes, d, lane, seq
+_HEADER = struct.Struct(">QBBHBBI")
+
+
+class PacketKind(IntEnum):
+    """Distinguishes route-setup packets from data packets."""
+
+    SETUP = 0
+    DATA = 1
+
+
+@dataclass
+class Packet:
+    """One information-slicing packet.
+
+    Attributes
+    ----------
+    flow_id:
+        Cleartext 64-bit flow identifier; all parents of a node stamp the same
+        flow id on packets destined to it so the node can group them.
+    kind:
+        Whether this packet belongs to the route-setup or the data phase.
+    slices:
+        The slices carried, ``slices[0]`` being the slice addressed to the
+        receiving node itself.
+    d:
+        Split factor the slices were coded with (length of coefficient rows).
+    lane:
+        Position of the *sending* node within its stage.  Receivers use it to
+        match incoming packets against the parent indices in their slice-map.
+        It carries no identity information (it is an arbitrary 0..d'-1 index
+        assigned by the source).
+    source_address / destination_address:
+        Transport-level addressing used by the overlay when delivering the
+        packet.  They are not part of the anonymity-bearing payload.
+    """
+
+    flow_id: int
+    kind: PacketKind
+    slices: list[CodedBlock]
+    d: int
+    lane: int = 0
+    seq: int = 0
+    source_address: str = ""
+    destination_address: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def slice_count(self) -> int:
+        return len(self.slices)
+
+    @property
+    def own_slice(self) -> CodedBlock:
+        """The slice addressed to the receiving node (always slot 0)."""
+        if not self.slices:
+            raise PacketFormatError("packet carries no slices")
+        return self.slices[0]
+
+    def payload_slices(self) -> list[CodedBlock]:
+        """The slices to be forwarded downstream (everything after slot 0)."""
+        return self.slices[1:]
+
+    def size_bytes(self) -> int:
+        """Serialized size, used by the simulator's bandwidth model."""
+        return len(self.to_bytes())
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        if not self.slices:
+            raise PacketFormatError("cannot serialize a packet with no slices")
+        slice_bytes = self.slices[0].size_bytes()
+        for block in self.slices:
+            if block.size_bytes() != slice_bytes:
+                raise PacketFormatError("all slices in a packet must be equal-sized")
+            if block.d != self.d:
+                raise PacketFormatError(
+                    f"slice coded with d={block.d} in a packet declaring d={self.d}"
+                )
+        header = _HEADER.pack(
+            self.flow_id & 0xFFFFFFFFFFFFFFFF,
+            int(self.kind),
+            len(self.slices),
+            slice_bytes,
+            self.d,
+            self.lane & 0xFF,
+            self.seq & 0xFFFFFFFF,
+        )
+        return header + b"".join(block.to_bytes() for block in self.slices)
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, source_address: str = "", destination_address: str = ""
+    ) -> "Packet":
+        if len(data) < _HEADER.size:
+            raise PacketFormatError("packet shorter than header")
+        flow_id, kind, slice_count, slice_bytes, d, lane, seq = _HEADER.unpack(
+            data[: _HEADER.size]
+        )
+        expected = _HEADER.size + slice_count * slice_bytes
+        if len(data) != expected:
+            raise PacketFormatError(
+                f"packet length {len(data)} does not match header "
+                f"({slice_count} slices of {slice_bytes} bytes)"
+            )
+        slices = []
+        offset = _HEADER.size
+        for index in range(slice_count):
+            chunk = data[offset : offset + slice_bytes]
+            slices.append(CodedBlock.from_bytes(chunk, d=d, index=index))
+            offset += slice_bytes
+        return cls(
+            flow_id=flow_id,
+            kind=PacketKind(kind),
+            slices=slices,
+            d=d,
+            lane=lane,
+            seq=seq,
+            source_address=source_address,
+            destination_address=destination_address,
+        )
+
+
+def random_padding_slice(
+    d: int, payload_bytes: int, rng: np.random.Generator
+) -> CodedBlock:
+    """A slice filled with uniformly random bytes (§4.3.6 ``rand`` entries)."""
+    coefficients = rng.integers(0, 256, size=d, dtype=np.uint8)
+    payload = rng.integers(0, 256, size=payload_bytes, dtype=np.uint8)
+    return CodedBlock(coefficients=coefficients, payload=payload, index=-1)

@@ -1,0 +1,344 @@
+"""The overlay relay daemon (§4.3.5, §4.3.6, §7.1).
+
+A :class:`Relay` is the per-node protocol engine.  It keeps a flow table
+keyed on flow-id; for each flow it collects setup packets from its parents,
+decodes its own routing information (§4.3.5), forwards the remaining slices
+to its children as instructed by its slice-map (§4.3.6), and relays data
+slices according to its data-map (§4.3.7), regenerating lost redundancy with
+network coding when a parent has failed (§4.4.1).
+
+The relay is transport-agnostic: :meth:`handle_packet` returns the packets to
+transmit, and the overlay layer (local loop, discrete-event simulator, or a
+real socket daemon) decides how and when to deliver them.  Timeout-driven
+behaviour (forwarding despite missing parents) is triggered by the overlay
+calling :meth:`flush_setup` / :meth:`flush_data`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..crypto.symmetric import StreamCipher
+from .coder import CodedBlock, SliceCoder
+from .errors import CodingError, InsufficientSlicesError, ProtocolError
+from .integrity import robust_decode, unwrap
+from .node_info import NodeInfo
+from .packet import Packet, PacketKind, random_padding_slice
+from .source import data_nonce
+
+
+@dataclass
+class FlowState:
+    """Per-flow state kept by a relay (the paper's flow-table entry)."""
+
+    flow_id: int
+    d: int
+    setup_packets: dict[int, Packet] = field(default_factory=dict)
+    info: NodeInfo | None = None
+    setup_forwarded: bool = False
+    pending_data: list[Packet] = field(default_factory=list)
+    data_blocks: dict[int, dict[int, CodedBlock]] = field(default_factory=dict)
+    data_forwarded: set[tuple[int, int]] = field(default_factory=set)
+    data_flushed: set[int] = field(default_factory=set)
+    delivered: dict[int, bytes] = field(default_factory=dict)
+    last_activity: float = 0.0
+
+    @property
+    def decoded(self) -> bool:
+        return self.info is not None
+
+    def own_setup_blocks(self) -> list[CodedBlock]:
+        """The slices addressed to this node (slot 0 of every setup packet)."""
+        return [packet.own_slice for packet in self.setup_packets.values()]
+
+
+@dataclass
+class RelayStats:
+    """Counters useful for experiments and debugging."""
+
+    packets_received: int = 0
+    packets_sent: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    flows_decoded: int = 0
+    messages_delivered: int = 0
+    regenerated_slices: int = 0
+
+
+class Relay:
+    """Protocol engine for one overlay node.
+
+    Parameters
+    ----------
+    address:
+        This node's overlay address.
+    rng:
+        Randomness source for padding and network-coding coefficients.
+    auto_forward_setup:
+        When True (default), setup slices are forwarded as soon as packets
+        from all ``d'`` parents have arrived.  The overlay can also force
+        forwarding earlier via :meth:`flush_setup` (e.g. on a timeout).
+    regenerate_redundancy:
+        Enable the network-coding regeneration of §4.4.1.  Disabling it gives
+        the plain "erasure-coding only" behaviour used by the ablation bench.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        rng: np.random.Generator | None = None,
+        auto_forward_setup: bool = True,
+        regenerate_redundancy: bool = True,
+    ) -> None:
+        self.address = address
+        self.rng = np.random.default_rng() if rng is None else rng
+        self.auto_forward_setup = auto_forward_setup
+        self.regenerate_redundancy = regenerate_redundancy
+        self.flows: dict[int, FlowState] = {}
+        self.stats = RelayStats()
+
+    # -- flow-table helpers ----------------------------------------------------------
+
+    def _state_for(self, packet: Packet) -> FlowState:
+        state = self.flows.get(packet.flow_id)
+        if state is None:
+            state = FlowState(flow_id=packet.flow_id, d=packet.d)
+            self.flows[packet.flow_id] = state
+        return state
+
+    def garbage_collect(self, before: float) -> int:
+        """Drop flow entries idle since before ``before``; returns count dropped."""
+        stale = [
+            flow_id
+            for flow_id, state in self.flows.items()
+            if state.last_activity < before
+        ]
+        for flow_id in stale:
+            del self.flows[flow_id]
+        return len(stale)
+
+    def is_receiver(self, flow_id: int) -> bool:
+        state = self.flows.get(flow_id)
+        return bool(state and state.info and state.info.is_receiver)
+
+    def delivered_messages(self, flow_id: int) -> dict[int, bytes]:
+        """Messages this node has decoded as the flow's destination."""
+        state = self.flows.get(flow_id)
+        if state is None:
+            return {}
+        return dict(state.delivered)
+
+    # -- packet handling ---------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, now: float = 0.0) -> list[Packet]:
+        """Process one incoming packet; returns the packets to transmit."""
+        self.stats.packets_received += 1
+        self.stats.bytes_received += packet.size_bytes()
+        state = self._state_for(packet)
+        state.last_activity = now
+        if packet.kind == PacketKind.SETUP:
+            outgoing = self._handle_setup(state, packet)
+        elif packet.kind == PacketKind.DATA:
+            outgoing = self._handle_data(state, packet)
+        else:  # pragma: no cover - PacketKind is a closed enum
+            raise ProtocolError(f"unknown packet kind {packet.kind}")
+        self._account_sent(outgoing)
+        return outgoing
+
+    def _account_sent(self, packets: list[Packet]) -> None:
+        self.stats.packets_sent += len(packets)
+        self.stats.bytes_sent += sum(p.size_bytes() for p in packets)
+
+    # -- setup phase -------------------------------------------------------------------
+
+    def _handle_setup(self, state: FlowState, packet: Packet) -> list[Packet]:
+        if packet.lane in state.setup_packets:
+            return []
+        state.setup_packets[packet.lane] = packet
+        if not state.decoded:
+            self._try_decode_info(state)
+        outgoing: list[Packet] = []
+        if (
+            state.decoded
+            and not state.setup_forwarded
+            and self.auto_forward_setup
+            and len(state.setup_packets) >= state.info.num_parents
+        ):
+            outgoing.extend(self._build_setup_forwards(state))
+        # Data packets may have raced ahead of the setup decode.
+        if state.decoded and state.pending_data:
+            pending, state.pending_data = state.pending_data, []
+            for buffered in pending:
+                outgoing.extend(self._handle_data(state, buffered))
+        return outgoing
+
+    def _try_decode_info(self, state: FlowState) -> None:
+        blocks = state.own_setup_blocks()
+        if len(blocks) < state.d:
+            return
+        coder = SliceCoder(state.d)
+        try:
+            payload = robust_decode(coder, blocks)
+            state.info = NodeInfo.unpack(payload)
+            self.stats.flows_decoded += 1
+        except (InsufficientSlicesError, CodingError, ProtocolError):
+            state.info = None
+
+    def _build_setup_forwards(self, state: FlowState) -> list[Packet]:
+        info = state.info
+        assert info is not None
+        state.setup_forwarded = True
+        if not info.next_hop_addresses:
+            return []
+        sample = next(iter(state.setup_packets.values())).own_slice
+        payload_bytes = int(sample.payload.shape[0])
+        outgoing: list[Packet] = []
+        for child_index, (child, child_flow) in enumerate(
+            zip(info.next_hop_addresses, info.next_hop_flow_ids)
+        ):
+            slices: list[CodedBlock] = []
+            for entry in info.slice_map.for_child(child_index):
+                block = None
+                if not entry.is_random:
+                    incoming = state.setup_packets.get(entry.parent_index)
+                    if incoming is not None and entry.slot_index < len(incoming.slices):
+                        block = incoming.slices[entry.slot_index]
+                if block is None:
+                    block = random_padding_slice(state.d, payload_bytes, self.rng)
+                slices.append(block)
+            outgoing.append(
+                Packet(
+                    flow_id=child_flow,
+                    kind=PacketKind.SETUP,
+                    slices=slices,
+                    d=state.d,
+                    lane=info.lane,
+                    seq=0,
+                    source_address=self.address,
+                    destination_address=child,
+                )
+            )
+        return outgoing
+
+    def flush_setup(self, flow_id: int) -> list[Packet]:
+        """Forward setup slices now, padding slots whose parents never arrived.
+
+        Called by the overlay on a timeout when churn has made some parents
+        fail.  Returns an empty list when this node could not decode its own
+        information (fewer than ``d`` of its slices arrived), in which case
+        the flow is dead at this node.
+        """
+        state = self.flows.get(flow_id)
+        if state is None or state.setup_forwarded:
+            return []
+        if not state.decoded:
+            self._try_decode_info(state)
+        if not state.decoded:
+            return []
+        outgoing = self._build_setup_forwards(state)
+        self._account_sent(outgoing)
+        return outgoing
+
+    # -- data phase --------------------------------------------------------------------
+
+    def _handle_data(self, state: FlowState, packet: Packet) -> list[Packet]:
+        if not state.decoded:
+            state.pending_data.append(packet)
+            return []
+        info = state.info
+        assert info is not None
+        per_seq = state.data_blocks.setdefault(packet.seq, {})
+        if packet.lane in per_seq:
+            return []
+        block = packet.own_slice
+        per_seq[packet.lane] = block
+        if info.is_receiver:
+            self._try_deliver(state, packet.seq)
+        outgoing: list[Packet] = []
+        for child_index, (child, child_flow) in enumerate(
+            zip(info.next_hop_addresses, info.next_hop_flow_ids)
+        ):
+            if info.data_map.for_child(child_index) != packet.lane:
+                continue
+            if (packet.seq, child_index) in state.data_forwarded:
+                continue
+            state.data_forwarded.add((packet.seq, child_index))
+            outgoing.append(
+                Packet(
+                    flow_id=child_flow,
+                    kind=PacketKind.DATA,
+                    slices=[block],
+                    d=state.d,
+                    lane=info.lane,
+                    seq=packet.seq,
+                    source_address=self.address,
+                    destination_address=child,
+                )
+            )
+        return outgoing
+
+    def flush_data(self, flow_id: int, seq: int) -> list[Packet]:
+        """Regenerate and forward slices for children whose parent slice is lost.
+
+        Implements §4.4.1: when this relay holds at least ``d`` slices of data
+        message ``seq`` it can synthesise a fresh random linear combination to
+        replace any slice a failed parent should have delivered.  Without
+        ``regenerate_redundancy`` the lost slice stays lost (erasure-coding
+        baseline behaviour).
+        """
+        state = self.flows.get(flow_id)
+        if state is None or not state.decoded:
+            return []
+        info = state.info
+        assert info is not None
+        per_seq = state.data_blocks.get(seq, {})
+        if seq in state.data_flushed or not info.next_hop_addresses:
+            state.data_flushed.add(seq)
+            return []
+        state.data_flushed.add(seq)
+        blocks = list(per_seq.values())
+        coder = SliceCoder(state.d)
+        outgoing: list[Packet] = []
+        for child_index, (child, child_flow) in enumerate(
+            zip(info.next_hop_addresses, info.next_hop_flow_ids)
+        ):
+            if (seq, child_index) in state.data_forwarded:
+                continue
+            if not self.regenerate_redundancy or len(blocks) < state.d:
+                continue
+            replacement = coder.recombine(blocks, self.rng)
+            self.stats.regenerated_slices += 1
+            state.data_forwarded.add((seq, child_index))
+            outgoing.append(
+                Packet(
+                    flow_id=child_flow,
+                    kind=PacketKind.DATA,
+                    slices=[replacement],
+                    d=state.d,
+                    lane=info.lane,
+                    seq=seq,
+                    source_address=self.address,
+                    destination_address=child,
+                )
+            )
+        self._account_sent(outgoing)
+        return outgoing
+
+    def _try_deliver(self, state: FlowState, seq: int) -> None:
+        if seq in state.delivered:
+            return
+        info = state.info
+        assert info is not None
+        blocks = list(state.data_blocks.get(seq, {}).values())
+        if len(blocks) < state.d:
+            return
+        coder = SliceCoder(state.d)
+        try:
+            ciphertext = robust_decode(coder, blocks)
+        except (InsufficientSlicesError, CodingError):
+            return
+        cipher = StreamCipher(info.secret_key)
+        state.delivered[seq] = cipher.decrypt(ciphertext, data_nonce(seq))
+        self.stats.messages_delivered += 1

@@ -1,0 +1,16 @@
+"""Cryptographic substrates: keystream cipher, key material, PK cost model."""
+
+from .keys import KeyMaterial, generate_flow_id, generate_key
+from .symmetric import StreamCipher, decrypt, encrypt
+from .public_key import PublicKeyCostModel, SimulatedKeyPair
+
+__all__ = [
+    "KeyMaterial",
+    "StreamCipher",
+    "PublicKeyCostModel",
+    "SimulatedKeyPair",
+    "encrypt",
+    "decrypt",
+    "generate_key",
+    "generate_flow_id",
+]

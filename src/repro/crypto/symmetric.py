@@ -1,0 +1,70 @@
+"""Symmetric keystream cipher.
+
+The paper encrypts data messages with a per-destination symmetric key that
+the source delivered during route setup (§4.2.1).  Rather than depending on
+an external crypto package, we implement a simple counter-mode keystream
+cipher over SHA-256: the keystream block ``i`` is ``SHA256(key || nonce || i)``
+and ciphertext is plaintext XOR keystream.  This provides the properties the
+protocol evaluation needs — the ciphertext is unintelligible without the key
+and the operation cost is realistic for a software cipher — without claiming
+to be production cryptography.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from ..core.errors import ProtocolError
+
+_BLOCK_SIZE = 32  # SHA-256 digest size
+NONCE_SIZE = 8
+
+
+class StreamCipher:
+    """Counter-mode keystream cipher keyed by an arbitrary byte string."""
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ProtocolError("symmetric key must be non-empty")
+        self._key = bytes(key)
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        """Generate ``length`` keystream bytes for the given nonce."""
+        blocks = []
+        for counter in range((length + _BLOCK_SIZE - 1) // _BLOCK_SIZE):
+            digest = hashlib.sha256(
+                self._key + nonce + struct.pack(">Q", counter)
+            ).digest()
+            blocks.append(digest)
+        return b"".join(blocks)[:length]
+
+    def encrypt(self, plaintext: bytes, nonce: bytes) -> bytes:
+        """XOR ``plaintext`` with the keystream for ``nonce``."""
+        if len(nonce) != NONCE_SIZE:
+            raise ProtocolError(f"nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+        stream = self.keystream(nonce, len(plaintext))
+        return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+    # XOR is an involution, so decryption is identical to encryption.
+    decrypt = encrypt
+
+    def seal(self, plaintext: bytes, nonce: bytes) -> bytes:
+        """Encrypt and prepend the nonce, producing a self-contained blob."""
+        return nonce + self.encrypt(plaintext, nonce)
+
+    def open(self, blob: bytes) -> bytes:
+        """Inverse of :meth:`seal`."""
+        if len(blob) < NONCE_SIZE:
+            raise ProtocolError("sealed blob shorter than its nonce")
+        return self.decrypt(blob[NONCE_SIZE:], blob[:NONCE_SIZE])
+
+
+def encrypt(key: bytes, plaintext: bytes, nonce: bytes) -> bytes:
+    """Module-level convenience wrapper around :class:`StreamCipher`."""
+    return StreamCipher(key).encrypt(plaintext, nonce)
+
+
+def decrypt(key: bytes, ciphertext: bytes, nonce: bytes) -> bytes:
+    """Module-level convenience wrapper around :class:`StreamCipher`."""
+    return StreamCipher(key).decrypt(ciphertext, nonce)

@@ -1,0 +1,51 @@
+"""Experiment harness: one runner per paper figure, plus ablations."""
+
+from .figures import (
+    FIGURES,
+    coding_microbenchmark,
+    figure07_anonymity_vs_malicious,
+    figure08_anonymity_vs_split,
+    figure09_anonymity_vs_path_length,
+    figure10_anonymity_vs_redundancy,
+    figure11_throughput_lan,
+    figure12_throughput_wan,
+    figure13_scaling_with_flows,
+    figure14_setup_latency_lan,
+    figure15_setup_latency_wan,
+    figure16_resilience_analysis,
+    figure17_churn_resilience,
+)
+from .setup_latency import measure_onion_setup, measure_slicing_setup, setup_latency_sweep
+from .tables import format_table
+from .throughput import (
+    ThroughputResult,
+    aggregate_throughput_vs_flows,
+    measure_onion_throughput,
+    measure_slicing_throughput,
+    throughput_vs_path_length,
+)
+
+__all__ = [
+    "FIGURES",
+    "format_table",
+    "figure07_anonymity_vs_malicious",
+    "figure08_anonymity_vs_split",
+    "figure09_anonymity_vs_path_length",
+    "figure10_anonymity_vs_redundancy",
+    "figure11_throughput_lan",
+    "figure12_throughput_wan",
+    "figure13_scaling_with_flows",
+    "figure14_setup_latency_lan",
+    "figure15_setup_latency_wan",
+    "figure16_resilience_analysis",
+    "figure17_churn_resilience",
+    "coding_microbenchmark",
+    "measure_slicing_throughput",
+    "measure_onion_throughput",
+    "throughput_vs_path_length",
+    "aggregate_throughput_vs_flows",
+    "ThroughputResult",
+    "measure_slicing_setup",
+    "measure_onion_setup",
+    "setup_latency_sweep",
+]

@@ -1,0 +1,40 @@
+"""Command-line experiment runner: ``python -m repro.experiments [fig07 ...]``.
+
+With no arguments, every figure is regenerated at a reduced scale; pass
+``--scale 1.0`` for the paper's full trial counts and figure names to select
+a subset.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .figures import FIGURES
+from .tables import format_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        choices=[*FIGURES, []],
+        help="figures to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.2,
+        help="trial-count scale factor (1.0 = the paper's full counts)",
+    )
+    args = parser.parse_args(argv)
+    selected = args.figures or list(FIGURES)
+    for name in selected:
+        rows = FIGURES[name](scale=args.scale)
+        print(f"\n=== {name} ===")
+        print(format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,239 @@
+"""Per-figure experiment runners.
+
+One function per figure/table of the paper's evaluation.  Each returns a list
+of row dictionaries — the same series the paper plots — so benchmarks, tests
+and the command-line runner all share a single implementation.  ``scale``
+trades precision for speed (1.0 reproduces the paper's trial counts; the
+benchmark suite uses smaller values so a full run stays fast).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..anonymity.simulation import (
+    sweep_malicious_fraction,
+    sweep_path_length,
+    sweep_redundancy,
+    sweep_split_factor,
+)
+from ..baselines.chaum import sweep_chaum_anonymity
+from ..overlay.churn import PLANETLAB_CHURN
+from ..overlay.profiles import LAN_PROFILE, PLANETLAB_PROFILE
+from ..resilience.analysis import sweep_redundancy as sweep_resilience_analysis
+from ..resilience.transfer import sweep_redundancy as sweep_transfer_redundancy
+from .setup_latency import setup_latency_sweep
+from .throughput import aggregate_throughput_vs_flows, throughput_vs_path_length
+
+#: Default parameters straight from the paper's captions.
+DEFAULT_N = 10_000
+DEFAULT_TRIALS = 1000
+
+
+def _trials(scale: float) -> int:
+    return max(int(DEFAULT_TRIALS * scale), 20)
+
+
+def figure07_anonymity_vs_malicious(scale: float = 1.0) -> list[dict]:
+    """Fig. 7: anonymity vs. fraction of malicious nodes (N=10000, L=8, d=3)."""
+    fractions = [0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+    trials = _trials(scale)
+    slicing = sweep_malicious_fraction(
+        DEFAULT_N, path_length=8, d=3, fractions=fractions, trials=trials
+    )
+    chaum = sweep_chaum_anonymity(DEFAULT_N, path_length=8, fractions=fractions, trials=trials)
+    rows = []
+    for (fraction, s_result), (_, c_result) in zip(slicing, chaum):
+        rows.append(
+            {
+                "fraction_malicious": fraction,
+                "source_anonymity": s_result.source_anonymity,
+                "destination_anonymity": s_result.destination_anonymity,
+                "chaum_source_anonymity": c_result.source_anonymity,
+                "chaum_destination_anonymity": c_result.destination_anonymity,
+            }
+        )
+    return rows
+
+
+def figure08_anonymity_vs_split(scale: float = 1.0) -> list[dict]:
+    """Fig. 8: anonymity vs. split factor d (N=10000, L=8, f in {0.1, 0.4})."""
+    split_factors = [2, 3, 4, 6, 8, 10, 12]
+    trials = _trials(scale)
+    rows = []
+    low = sweep_split_factor(DEFAULT_N, 8, split_factors, 0.1, trials=trials)
+    high = sweep_split_factor(DEFAULT_N, 8, split_factors, 0.4, trials=trials)
+    for (d, low_result), (_, high_result) in zip(low, high):
+        rows.append(
+            {
+                "split_factor": d,
+                "source_anonymity_f0.1": low_result.source_anonymity,
+                "destination_anonymity_f0.1": low_result.destination_anonymity,
+                "source_anonymity_f0.4": high_result.source_anonymity,
+                "destination_anonymity_f0.4": high_result.destination_anonymity,
+            }
+        )
+    return rows
+
+
+def figure09_anonymity_vs_path_length(scale: float = 1.0) -> list[dict]:
+    """Fig. 9: anonymity vs. path length L (N=10000, d=3, f=0.1)."""
+    lengths = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+    trials = _trials(scale)
+    results = sweep_path_length(DEFAULT_N, lengths, d=3, fraction_malicious=0.1, trials=trials)
+    return [
+        {
+            "path_length": length,
+            "source_anonymity": result.source_anonymity,
+            "destination_anonymity": result.destination_anonymity,
+        }
+        for length, result in results
+    ]
+
+
+def figure10_anonymity_vs_redundancy(scale: float = 1.0) -> list[dict]:
+    """Fig. 10: anonymity vs. added redundancy (d=3, L=8, f=0.1)."""
+    d = 3
+    d_primes = [3, 4, 5, 6, 7, 8, 9, 10]
+    trials = _trials(scale)
+    results = sweep_redundancy(
+        DEFAULT_N, path_length=8, d=d, d_primes=d_primes, fraction_malicious=0.1, trials=trials
+    )
+    return [
+        {
+            "added_redundancy": redundancy,
+            "source_anonymity": result.source_anonymity,
+            "destination_anonymity": result.destination_anonymity,
+        }
+        for redundancy, result in results
+    ]
+
+
+def figure11_throughput_lan(scale: float = 1.0) -> list[dict]:
+    """Fig. 11: LAN throughput vs. path length, slicing (d=2) vs. onion routing."""
+    num_messages = max(int(300 * scale), 40)
+    return throughput_vs_path_length(
+        LAN_PROFILE, path_lengths=[2, 3, 4, 5], d=2, num_messages=num_messages
+    )
+
+
+def figure12_throughput_wan(scale: float = 1.0) -> list[dict]:
+    """Fig. 12: PlanetLab throughput vs. path length."""
+    num_messages = max(int(120 * scale), 20)
+    return throughput_vs_path_length(
+        PLANETLAB_PROFILE, path_lengths=[2, 3, 4, 5], d=2, num_messages=num_messages
+    )
+
+
+def figure13_scaling_with_flows(scale: float = 1.0) -> list[dict]:
+    """Fig. 13: aggregate throughput vs. number of concurrent flows."""
+    flow_counts = [1, 2, 4, 8, 16, 24] if scale < 1.0 else [1, 2, 4, 8, 16, 32, 64, 96, 128, 160]
+    num_messages = max(int(60 * scale), 10)
+    return aggregate_throughput_vs_flows(
+        PLANETLAB_PROFILE,
+        flow_counts=flow_counts,
+        overlay_size=100,
+        path_length=5,
+        d=3,
+        num_messages=num_messages,
+    )
+
+
+def figure14_setup_latency_lan(scale: float = 1.0) -> list[dict]:
+    """Fig. 14: LAN route-setup latency vs. path length and split factor."""
+    return setup_latency_sweep(LAN_PROFILE, path_lengths=[1, 2, 3, 4, 5, 6])
+
+
+def figure15_setup_latency_wan(scale: float = 1.0) -> list[dict]:
+    """Fig. 15: PlanetLab route-setup latency vs. path length and split factor."""
+    return setup_latency_sweep(PLANETLAB_PROFILE, path_lengths=[1, 2, 3, 4, 5, 6])
+
+
+def figure16_resilience_analysis(scale: float = 1.0) -> list[dict]:
+    """Fig. 16: analytical success probability vs. redundancy (p=0.1 and 0.3)."""
+    d = 2
+    d_primes = [2, 3, 4, 5, 6, 7, 8, 10, 12]
+    rows = []
+    for failure_prob in (0.1, 0.3):
+        for point in sweep_resilience_analysis(failure_prob, path_length=5, d=d, d_primes=d_primes):
+            rows.append(
+                {
+                    "node_failure_prob": failure_prob,
+                    "added_redundancy": point.redundancy,
+                    "onion_erasure_success": point.onion_erasure,
+                    "information_slicing_success": point.information_slicing,
+                }
+            )
+    return rows
+
+
+def figure17_churn_resilience(scale: float = 1.0) -> list[dict]:
+    """Fig. 17: 30-minute transfer success vs. redundancy on a churning overlay."""
+    d = 2
+    d_primes = [2, 3, 4, 5, 6]
+    trials = _trials(scale)
+    results = sweep_transfer_redundancy(
+        PLANETLAB_CHURN,
+        session_seconds=30 * 60.0,
+        path_length=5,
+        d=d,
+        d_primes=d_primes,
+        trials=trials,
+    )
+    return [
+        {
+            "added_redundancy": result.redundancy,
+            "information_slicing_success": result.information_slicing,
+            "onion_erasure_success": result.onion_erasure,
+            "standard_onion_success": result.standard_onion,
+        }
+        for result in results
+    ]
+
+
+def coding_microbenchmark(scale: float = 1.0) -> list[dict]:
+    """§7.1 microbenchmark: coding cost per 1500-byte packet across d."""
+    import time
+
+    from ..core.coder import SliceCoder
+
+    rng = np.random.default_rng(3)
+    packet = bytes(rng.integers(0, 256, size=1500, dtype=np.uint8).tobytes())
+    iterations = max(int(50 * scale), 10)
+    rows = []
+    for d in (2, 3, 4, 5, 6, 8):
+        coder = SliceCoder(d)
+        start = time.perf_counter()
+        for _ in range(iterations):
+            blocks = coder.encode(packet, rng)
+        encode_seconds = (time.perf_counter() - start) / iterations
+        start = time.perf_counter()
+        for _ in range(iterations):
+            coder.decode(blocks)
+        decode_seconds = (time.perf_counter() - start) / iterations
+        rows.append(
+            {
+                "d": d,
+                "encode_us_per_packet": encode_seconds * 1e6,
+                "decode_us_per_packet": decode_seconds * 1e6,
+                "max_output_mbps": 1500 * 8 / max(encode_seconds, 1e-12) / 1e6,
+            }
+        )
+    return rows
+
+
+#: Registry used by the command-line runner, the benchmarks and EXPERIMENTS.md.
+FIGURES = {
+    "fig07": figure07_anonymity_vs_malicious,
+    "fig08": figure08_anonymity_vs_split,
+    "fig09": figure09_anonymity_vs_path_length,
+    "fig10": figure10_anonymity_vs_redundancy,
+    "fig11": figure11_throughput_lan,
+    "fig12": figure12_throughput_wan,
+    "fig13": figure13_scaling_with_flows,
+    "fig14": figure14_setup_latency_lan,
+    "fig15": figure15_setup_latency_wan,
+    "fig16": figure16_resilience_analysis,
+    "fig17": figure17_churn_resilience,
+    "microbench": coding_microbenchmark,
+}

@@ -1,0 +1,276 @@
+"""Per-flow throughput experiments (§7.2, §7.3 — Figs. 11, 12, 13).
+
+Both protocols run over the same simulated substrate
+(:class:`~repro.overlay.node.SimulatedOverlayNetwork`): identical per-node CPU
+model, per-connection capacity, latencies and per-packet overhead.  The
+information-slicing flow uses the real protocol engines; the onion-routing
+flow uses the baseline's cost structure (one chain of relays, a symmetric
+crypto pass per hop, the source paying one pass per layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..overlay.node import SimulatedOverlayNetwork, SlicingRuntime
+from ..overlay.profiles import OverlayProfile
+from ..core.source import Source
+
+#: Per-connection capacity (bits/s) of the prototype's transport on a LAN —
+#: what a single user-space relayed TCP connection sustains.
+LAN_CONNECTION_BPS = 30e6
+
+#: Per-connection capacity on the wide area (PlanetLab-era TCP over ~80 ms RTT).
+WAN_CONNECTION_BPS = 0.9e6
+
+
+def connection_bps_for(profile: OverlayProfile) -> float:
+    """Per-connection capacity associated with a testbed profile."""
+    return LAN_CONNECTION_BPS if profile.name == "lan" else WAN_CONNECTION_BPS
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Measured throughput of one simulated transfer."""
+
+    protocol: str
+    path_length: int
+    d: int
+    d_prime: int
+    throughput_bps: float
+    messages_delivered: int
+    duration_seconds: float
+
+
+def _addresses(prefix: str, count: int) -> list[str]:
+    return [f"{prefix}-{index}" for index in range(count)]
+
+
+def measure_slicing_throughput(
+    profile: OverlayProfile,
+    path_length: int,
+    d: int,
+    d_prime: int | None = None,
+    num_messages: int = 300,
+    message_bytes: int = 1500,
+    seed: int = 42,
+) -> ThroughputResult:
+    """Drive one information-slicing flow and measure delivered goodput."""
+    d_prime = d if d_prime is None else d_prime
+    rng = np.random.default_rng(seed)
+    source_stage = _addresses("src", d_prime)
+    relays = _addresses("relay", max(path_length * d_prime * 2, 32))
+    destination = "destination"
+    all_addresses = source_stage + relays + [destination]
+    network = profile.build_network(all_addresses, rng)
+    substrate = SimulatedOverlayNetwork(
+        network, connection_bps=connection_bps_for(profile)
+    )
+    runtime = SlicingRuntime(substrate, rng=np.random.default_rng(seed + 1))
+    source = Source(
+        source_stage[0],
+        source_stage[1:],
+        d=d,
+        d_prime=d_prime,
+        path_length=path_length,
+        rng=rng,
+    )
+    flow = source.establish_flow(relays, destination)
+    progress = runtime.start_flow(source, flow)
+    substrate.sim.run()
+    transfer_start = substrate.sim.now
+    payload = bytes(message_bytes)
+    for _ in range(num_messages):
+        runtime.send_message(source, flow, payload)
+    substrate.sim.run()
+    delivered = len(progress.delivered_messages)
+    last = progress.last_delivery_at or transfer_start
+    duration = max(last - transfer_start, 1e-9)
+    throughput = progress.delivered_bytes * 8.0 / duration
+    return ThroughputResult(
+        protocol="information-slicing",
+        path_length=path_length,
+        d=d,
+        d_prime=d_prime,
+        throughput_bps=throughput,
+        messages_delivered=delivered,
+        duration_seconds=duration,
+    )
+
+
+def measure_onion_throughput(
+    profile: OverlayProfile,
+    path_length: int,
+    num_messages: int = 300,
+    message_bytes: int = 1500,
+    seed: int = 43,
+) -> ThroughputResult:
+    """Drive an onion-routing transfer over the same substrate.
+
+    The data path is a single chain of ``path_length`` relays.  The source
+    pays one symmetric pass per layer (``L`` passes per message); every relay
+    pays one pass; each hop is one connection, so the chain's throughput is
+    capped by a single connection's capacity — which is exactly the effect
+    information slicing's parallel paths avoid.
+    """
+    rng = np.random.default_rng(seed)
+    relays = _addresses("onion", path_length)
+    all_addresses = ["onion-source", *relays, "onion-destination"]
+    network = profile.build_network(all_addresses, rng)
+    substrate = SimulatedOverlayNetwork(
+        network, connection_bps=connection_bps_for(profile)
+    )
+    chain = ["onion-source", *relays, "onion-destination"]
+    delivered = {"count": 0, "bytes": 0, "last": 0.0, "first": None}
+
+    def forward(hop_index: int) -> None:
+        sender = chain[hop_index]
+        receiver = chain[hop_index + 1]
+        resources = network.resources(sender)
+        if hop_index == 0:
+            cpu = resources.symmetric_time(message_bytes) * path_length
+        else:
+            cpu = resources.symmetric_time(message_bytes)
+        if hop_index + 1 == len(chain) - 1:
+            def on_delivered() -> None:
+                delivered["count"] += 1
+                delivered["bytes"] += message_bytes
+                if delivered["first"] is None:
+                    delivered["first"] = substrate.sim.now
+                delivered["last"] = substrate.sim.now
+        else:
+            def on_delivered() -> None:
+                forward(hop_index + 1)
+        substrate.transmit(
+            sender=sender,
+            receiver=receiver,
+            size_bytes=message_bytes,
+            on_delivered=on_delivered,
+            sender_cpu_seconds=cpu,
+        )
+
+    start = substrate.sim.now
+    for _ in range(num_messages):
+        forward(0)
+    substrate.sim.run()
+    duration = max(delivered["last"] - start, 1e-9)
+    return ThroughputResult(
+        protocol="onion-routing",
+        path_length=path_length,
+        d=1,
+        d_prime=1,
+        throughput_bps=delivered["bytes"] * 8.0 / duration,
+        messages_delivered=delivered["count"],
+        duration_seconds=duration,
+    )
+
+
+def throughput_vs_path_length(
+    profile: OverlayProfile,
+    path_lengths: list[int],
+    d: int = 2,
+    num_messages: int = 300,
+    message_bytes: int = 1500,
+    seed: int = 7,
+) -> list[dict]:
+    """Figs. 11 and 12: slicing (d=2) vs. onion routing across path lengths."""
+    rows = []
+    for path_length in path_lengths:
+        slicing = measure_slicing_throughput(
+            profile,
+            path_length,
+            d=d,
+            num_messages=num_messages,
+            message_bytes=message_bytes,
+            seed=seed + path_length,
+        )
+        onion = measure_onion_throughput(
+            profile,
+            path_length,
+            num_messages=num_messages,
+            message_bytes=message_bytes,
+            seed=seed + 100 + path_length,
+        )
+        rows.append(
+            {
+                "path_length": path_length,
+                "slicing_mbps": slicing.throughput_bps / 1e6,
+                "onion_mbps": onion.throughput_bps / 1e6,
+                "slicing_delivered": slicing.messages_delivered,
+                "onion_delivered": onion.messages_delivered,
+            }
+        )
+    return rows
+
+
+def aggregate_throughput_vs_flows(
+    profile: OverlayProfile,
+    flow_counts: list[int],
+    overlay_size: int = 100,
+    path_length: int = 5,
+    d: int = 3,
+    num_messages: int = 60,
+    message_bytes: int = 1500,
+    seed: int = 9,
+) -> list[dict]:
+    """Fig. 13: aggregate network throughput as concurrent flows increase.
+
+    All flows share one overlay of ``overlay_size`` nodes, so their packets
+    contend for the same per-node CPU and per-connection capacity; the curve
+    rises roughly linearly and then saturates, as in the paper.
+    """
+    rows = []
+    for flow_count in flow_counts:
+        rng = np.random.default_rng(seed + flow_count)
+        overlay_nodes = _addresses("pl", overlay_size)
+        d_prime = d
+        source_stages = [
+            _addresses(f"flow{flow}-src", d_prime) for flow in range(flow_count)
+        ]
+        destinations = [f"flow{flow}-dst" for flow in range(flow_count)]
+        all_addresses = (
+            overlay_nodes
+            + [addr for stage in source_stages for addr in stage]
+            + destinations
+        )
+        network = profile.build_network(all_addresses, rng)
+        substrate = SimulatedOverlayNetwork(
+            network, connection_bps=connection_bps_for(profile)
+        )
+        runtime = SlicingRuntime(substrate, rng=np.random.default_rng(seed + 1))
+        total_bytes = 0
+        progresses = []
+        start = substrate.sim.now
+        payload = bytes(message_bytes)
+        for flow_index in range(flow_count):
+            source = Source(
+                source_stages[flow_index][0],
+                source_stages[flow_index][1:],
+                d=d,
+                d_prime=d_prime,
+                path_length=path_length,
+                rng=np.random.default_rng(seed + 31 * flow_index),
+            )
+            flow = source.establish_flow(overlay_nodes, destinations[flow_index])
+            progress = runtime.start_flow(source, flow)
+            progresses.append(progress)
+            for _ in range(num_messages):
+                runtime.send_message(source, flow, payload)
+        substrate.sim.run()
+        end = max(
+            [p.last_delivery_at for p in progresses if p.last_delivery_at] or [start]
+        )
+        total_bytes = sum(p.delivered_bytes for p in progresses)
+        duration = max(end - start, 1e-9)
+        rows.append(
+            {
+                "flows": flow_count,
+                "network_throughput_mbps": total_bytes * 8.0 / duration / 1e6,
+                "messages_delivered": sum(
+                    len(p.delivered_messages) for p in progresses
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,57 @@
+"""Overlay substrates: local in-memory overlay, discrete-event simulator,
+churn models, latency/load profiles, and AS-aware relay selection."""
+
+from .address import ASDatabase, Prefix, assign_overlay_addresses, generate_as_database
+from .churn import PLANETLAB_CHURN, STABLE_CHURN, ChurnModel
+from .local import DeliveryRecord, LocalOverlay
+from .network import (
+    NetworkModel,
+    NodeResources,
+    heterogeneous_network,
+    uniform_network,
+)
+from .node import (
+    DEFAULT_PER_PACKET_OVERHEAD,
+    FlowProgress,
+    SimulatedOverlayNetwork,
+    SlicingRuntime,
+)
+from .profiles import LAN_PROFILE, PLANETLAB_PROFILE, PROFILES, OverlayProfile, get_profile
+from .selection import (
+    SelectionReport,
+    adversary_capture_probability,
+    as_diverse_selection,
+    uniform_selection,
+)
+from .simulator import EventHandle, EventSimulator
+
+__all__ = [
+    "LocalOverlay",
+    "DeliveryRecord",
+    "EventSimulator",
+    "EventHandle",
+    "NetworkModel",
+    "NodeResources",
+    "uniform_network",
+    "heterogeneous_network",
+    "SimulatedOverlayNetwork",
+    "SlicingRuntime",
+    "FlowProgress",
+    "DEFAULT_PER_PACKET_OVERHEAD",
+    "ChurnModel",
+    "PLANETLAB_CHURN",
+    "STABLE_CHURN",
+    "OverlayProfile",
+    "LAN_PROFILE",
+    "PLANETLAB_PROFILE",
+    "PROFILES",
+    "get_profile",
+    "ASDatabase",
+    "Prefix",
+    "generate_as_database",
+    "assign_overlay_addresses",
+    "uniform_selection",
+    "as_diverse_selection",
+    "SelectionReport",
+    "adversary_capture_probability",
+]

@@ -1,0 +1,166 @@
+"""In-process overlay: synchronous packet delivery between relay engines.
+
+The :class:`LocalOverlay` wires :class:`~repro.core.relay.Relay` instances
+together in memory and delivers packets breadth-first, optionally through a
+serialize/parse round-trip so the byte-level wire format is exercised too.
+It supports dropping nodes (to emulate failures) and records every packet it
+delivers, which the functional tests and the confidentiality checks use to
+play the role of an eavesdropper.
+
+This overlay has no notion of time; the discrete-event simulator in
+:mod:`repro.overlay.simulator` is the substrate for the performance and churn
+experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.packet import Packet
+from ..core.relay import Relay
+from ..core.source import FlowSetup, Source
+
+
+@dataclass
+class DeliveryRecord:
+    """One packet delivery observed on the overlay (for analysis/tests)."""
+
+    sender: str
+    receiver: str
+    packet: Packet
+    delivered: bool
+
+
+@dataclass
+class LocalOverlay:
+    """A synchronous, in-memory overlay of relay protocol engines."""
+
+    serialize_packets: bool = True
+    relays: dict[str, Relay] = field(default_factory=dict)
+    failed: set[str] = field(default_factory=set)
+    log: list[DeliveryRecord] = field(default_factory=list)
+
+    def add_node(self, address: str, rng: np.random.Generator | None = None, **kwargs) -> Relay:
+        """Create (or return) the relay engine for ``address``."""
+        if address in self.relays:
+            return self.relays[address]
+        relay = Relay(address, rng=rng, **kwargs)
+        self.relays[address] = relay
+        return relay
+
+    def add_nodes(self, addresses: list[str], seed: int = 0, **kwargs) -> None:
+        for index, address in enumerate(addresses):
+            self.add_node(address, rng=np.random.default_rng(seed + index), **kwargs)
+
+    def fail_node(self, address: str) -> None:
+        """Mark a node as failed; packets to and from it are dropped."""
+        self.failed.add(address)
+
+    def recover_node(self, address: str) -> None:
+        self.failed.discard(address)
+
+    def node(self, address: str) -> Relay:
+        try:
+            return self.relays[address]
+        except KeyError as exc:
+            raise SimulationError(f"no relay registered at {address}") from exc
+
+    # -- packet propagation -------------------------------------------------------
+
+    def inject(self, packets: list[Packet]) -> int:
+        """Deliver ``packets`` and everything they transitively trigger.
+
+        Returns the number of packets delivered.  Delivery is breadth-first:
+        a packet emitted by a relay is queued behind packets already pending,
+        which approximates the per-stage progression of the real protocol.
+        """
+        queue: deque[Packet] = deque(packets)
+        delivered = 0
+        guard = 0
+        while queue:
+            guard += 1
+            if guard > 1_000_000:
+                raise SimulationError("packet propagation did not terminate")
+            packet = queue.popleft()
+            sender = packet.source_address
+            receiver = packet.destination_address
+            if not receiver:
+                raise SimulationError("packet has no destination address")
+            ok = (
+                sender not in self.failed
+                and receiver not in self.failed
+                and receiver in self.relays
+            )
+            self.log.append(
+                DeliveryRecord(sender=sender, receiver=receiver, packet=packet, delivered=ok)
+            )
+            if not ok:
+                continue
+            delivered += 1
+            incoming = packet
+            if self.serialize_packets:
+                incoming = Packet.from_bytes(
+                    packet.to_bytes(),
+                    source_address=sender,
+                    destination_address=receiver,
+                )
+            queue.extend(self.relays[receiver].handle_packet(incoming))
+        return delivered
+
+    def flush_flow(self, flow_setup: FlowSetup) -> int:
+        """Trigger timeout-style flushes at every relay of a flow.
+
+        Used after failures: relays that decoded their information but are
+        still waiting for missing parents forward what they have (with padding
+        / regenerated slices), which is what the real daemon's timeout does.
+        """
+        plan = flow_setup.plan
+        extra: list[Packet] = []
+        for relay_address in plan.graph.relays:
+            if relay_address in self.failed or relay_address not in self.relays:
+                continue
+            relay = self.relays[relay_address]
+            flow_id = plan.flow_ids[relay_address]
+            extra.extend(relay.flush_setup(flow_id))
+            state = relay.flows.get(flow_id)
+            if state is not None:
+                for seq in list(state.data_blocks):
+                    extra.extend(relay.flush_data(flow_id, seq))
+        if not extra:
+            return 0
+        return self.inject(extra)
+
+    # -- convenience -----------------------------------------------------------------
+
+    def run_flow(
+        self,
+        source: Source,
+        relay_candidates: list[str],
+        destination: str,
+        messages: list[bytes],
+        flush: bool = True,
+    ) -> tuple[FlowSetup, dict[int, bytes]]:
+        """Establish a flow, send ``messages``, and return what the destination got."""
+        for address in relay_candidates + [destination]:
+            self.add_node(address)
+        flow = source.establish_flow(relay_candidates, destination)
+        self.inject(flow.setup_packets)
+        for message in messages:
+            self.inject(source.make_data_packets(flow, message))
+        if flush:
+            self.flush_flow(flow)
+        destination_relay = self.node(destination)
+        flow_id = flow.plan.flow_ids[destination]
+        return flow, destination_relay.delivered_messages(flow_id)
+
+    def observed_by(self, addresses: set[str]) -> list[DeliveryRecord]:
+        """Deliveries visible to an adversary controlling ``addresses``."""
+        return [
+            record
+            for record in self.log
+            if record.sender in addresses or record.receiver in addresses
+        ]

@@ -1,0 +1,315 @@
+"""Simulated overlay node runtime.
+
+:class:`SimulatedOverlayNetwork` combines the event loop
+(:class:`~repro.overlay.simulator.EventSimulator`), the network model
+(latency, per-connection capacity), per-node CPU accounting, and node
+failures into a generic substrate over which protocol adapters run.  The
+information-slicing adapter (:class:`SlicingRuntime`) wires the real
+:class:`~repro.core.relay.Relay` engines into this substrate; the onion
+baselines in :mod:`repro.baselines` provide their own adapters.
+
+Resource model
+--------------
+* every directed (sender, receiver) pair is a *connection* with a serialisation
+  rate (``connection_bps``); packets queue on it in FIFO order — this is what
+  makes a single onion path top out at one connection's worth of throughput
+  while information slicing's ``d`` parallel connections scale further (§7.2);
+* every node has a CPU; work items (coding, symmetric crypto, per-packet
+  handling) queue on it;
+* a failed node silently drops everything addressed to it (the paper's
+  unreachable PlanetLab nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.packet import Packet, PacketKind
+from ..core.relay import Relay
+from ..core.source import FlowSetup, Source
+from .network import NetworkModel
+from .simulator import EventSimulator
+
+#: Fixed per-packet handling overhead (seconds) on the steady-state data path
+#: (flow-table hit, copy, forward).
+DEFAULT_PER_PACKET_OVERHEAD = 3e-5
+
+#: Extra per-packet cost (seconds) of processing a *setup* packet in the
+#: prototype's user-space daemon: thread dispatch, flow-table creation and the
+#: pure-Python matrix work of §4.3.5.  This is what makes route setup take
+#: hundreds of milliseconds in the paper's Fig. 14 despite a quiet LAN.
+DEFAULT_SETUP_PROCESSING_OVERHEAD = 0.008
+
+
+@dataclass
+class TransmissionStats:
+    """Aggregate counters maintained by the simulated network."""
+
+    packets_sent: int = 0
+    packets_dropped: int = 0
+    bytes_sent: int = 0
+
+
+class SimulatedOverlayNetwork:
+    """Shared transport substrate: connections, CPUs, failures."""
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        connection_bps: float,
+        per_packet_overhead: float = DEFAULT_PER_PACKET_OVERHEAD,
+        simulator: EventSimulator | None = None,
+    ) -> None:
+        self.network = network
+        self.connection_bps = connection_bps
+        self.per_packet_overhead = per_packet_overhead
+        self.sim = EventSimulator() if simulator is None else simulator
+        self.stats = TransmissionStats()
+        self._link_free_at: dict[tuple[str, str], float] = {}
+        self._cpu_free_at: dict[str, float] = {}
+        self._failed_at: dict[str, float] = {}
+
+    # -- failures ------------------------------------------------------------------
+
+    def fail_node(self, address: str, at_time: float | None = None) -> None:
+        """Kill ``address`` now or at an absolute simulated time."""
+        when = self.sim.now if at_time is None else at_time
+        previous = self._failed_at.get(address)
+        if previous is None or when < previous:
+            self._failed_at[address] = when
+
+    def is_alive(self, address: str, at_time: float | None = None) -> bool:
+        when = self.sim.now if at_time is None else at_time
+        failed_at = self._failed_at.get(address)
+        return failed_at is None or when < failed_at
+
+    # -- resource accounting ----------------------------------------------------------
+
+    def _reserve_link(self, sender: str, receiver: str, size_bytes: int) -> float:
+        """Queue a packet on the (sender, receiver) connection; return send-done time."""
+        key = (sender, receiver)
+        start = max(self.sim.now, self._link_free_at.get(key, 0.0))
+        done = start + size_bytes * 8.0 / self.connection_bps
+        self._link_free_at[key] = done
+        return done
+
+    def reserve_cpu(self, address: str, work_seconds: float) -> float:
+        """Queue ``work_seconds`` of CPU work on a node; return completion time."""
+        start = max(self.sim.now, self._cpu_free_at.get(address, 0.0))
+        done = start + work_seconds
+        self._cpu_free_at[address] = done
+        return done
+
+    # -- transmission -------------------------------------------------------------------
+
+    def transmit(
+        self,
+        sender: str,
+        receiver: str,
+        size_bytes: int,
+        on_delivered: Callable[[], None],
+        sender_cpu_seconds: float = 0.0,
+    ) -> None:
+        """Send ``size_bytes`` from ``sender`` to ``receiver``.
+
+        The sender first spends ``sender_cpu_seconds`` of CPU (plus the fixed
+        per-packet overhead), then the packet serialises onto the connection,
+        propagates, and ``on_delivered`` fires at the receiver — unless either
+        endpoint has failed by the relevant instant.
+        """
+        if not self.is_alive(sender):
+            self.stats.packets_dropped += 1
+            return
+        cpu_done = self.reserve_cpu(
+            sender, sender_cpu_seconds + self.per_packet_overhead
+        )
+
+        def start_transmission() -> None:
+            if not self.is_alive(sender):
+                self.stats.packets_dropped += 1
+                return
+            link_done = self._reserve_link(sender, receiver, size_bytes)
+            arrival = link_done + self.network.latency(sender, receiver)
+            self.stats.packets_sent += 1
+            self.stats.bytes_sent += size_bytes
+
+            def deliver() -> None:
+                if not self.is_alive(receiver):
+                    self.stats.packets_dropped += 1
+                    return
+                on_delivered()
+
+            self.sim.schedule_at(arrival, deliver)
+
+        self.sim.schedule_at(cpu_done, start_transmission)
+
+
+@dataclass
+class FlowProgress:
+    """Observable progress of one information-slicing flow in the simulator."""
+
+    setup_injected_at: float = 0.0
+    relay_decode_times: dict[str, float] = field(default_factory=dict)
+    delivered_messages: dict[int, float] = field(default_factory=dict)
+    delivered_bytes: int = 0
+    first_delivery_at: float | None = None
+    last_delivery_at: float | None = None
+
+    def setup_complete_time(self, relays: list[str]) -> float | None:
+        """Time at which every listed relay had decoded its routing info."""
+        times = [self.relay_decode_times.get(relay) for relay in relays]
+        if any(time is None for time in times):
+            return None
+        return max(times)
+
+
+class SlicingRuntime:
+    """Runs real :class:`~repro.core.relay.Relay` engines over the simulator."""
+
+    def __init__(
+        self,
+        substrate: SimulatedOverlayNetwork,
+        rng: np.random.Generator | None = None,
+        flush_timeout: float = 2.0,
+        setup_processing_overhead: float = DEFAULT_SETUP_PROCESSING_OVERHEAD,
+    ) -> None:
+        self.substrate = substrate
+        self.rng = np.random.default_rng() if rng is None else rng
+        self.flush_timeout = flush_timeout
+        self.setup_processing_overhead = setup_processing_overhead
+        self.relays: dict[str, Relay] = {}
+        self.progress: dict[int, FlowProgress] = {}
+        self._flow_setups: dict[int, FlowSetup] = {}
+
+    @property
+    def sim(self) -> EventSimulator:
+        return self.substrate.sim
+
+    def add_relay(self, address: str) -> Relay:
+        if address not in self.relays:
+            seed = abs(hash(address)) % (2**32)
+            self.relays[address] = Relay(address, rng=np.random.default_rng(seed))
+        return self.relays[address]
+
+    # -- driving a flow ------------------------------------------------------------------
+
+    def start_flow(self, source: Source, flow: FlowSetup) -> FlowProgress:
+        """Inject a flow's setup packets and arm the per-relay flush timers."""
+        for relay_address in flow.graph.relays:
+            self.add_relay(relay_address)
+        progress = FlowProgress(setup_injected_at=self.sim.now)
+        key = id(flow)
+        self.progress[key] = progress
+        self._flow_setups[key] = flow
+        for packet in flow.setup_packets:
+            self._send_packet(packet, flow, progress, sender_cpu=0.0)
+        # Timeout-driven flush so churn cannot wedge the setup forever.
+        self.sim.schedule(self.flush_timeout, lambda: self._flush_setup(flow, progress))
+        return progress
+
+    def send_message(
+        self, source: Source, flow: FlowSetup, message: bytes
+    ) -> None:
+        """Code and inject one data message from the source stage."""
+        packets = source.make_data_packets(flow, message)
+        progress = self.progress[id(flow)]
+        source_resources = self.substrate.network.resources(source.address)
+        per_packet_cpu = source_resources.coding_time(
+            max(len(message) // max(flow.d, 1), 1), flow.d
+        )
+        for packet in packets:
+            self._send_packet(packet, flow, progress, sender_cpu=per_packet_cpu)
+        seq = packets[0].seq
+        self.sim.schedule(
+            self.flush_timeout, lambda: self._flush_data(flow, progress, seq)
+        )
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _send_packet(
+        self,
+        packet: Packet,
+        flow: FlowSetup,
+        progress: FlowProgress,
+        sender_cpu: float,
+    ) -> None:
+        receiver = packet.destination_address
+
+        def deliver() -> None:
+            self._deliver_packet(packet, flow, progress)
+
+        self.substrate.transmit(
+            sender=packet.source_address,
+            receiver=receiver,
+            size_bytes=packet.size_bytes(),
+            on_delivered=deliver,
+            sender_cpu_seconds=sender_cpu,
+        )
+
+    def _deliver_packet(
+        self, packet: Packet, flow: FlowSetup, progress: FlowProgress
+    ) -> None:
+        receiver = packet.destination_address
+        relay = self.relays.get(receiver)
+        if relay is None:
+            return
+        resources = self.substrate.network.resources(receiver)
+        payload_bytes = sum(block.payload.shape[0] for block in packet.slices)
+        cpu = resources.coding_time(payload_bytes, packet.d)
+        if packet.kind == PacketKind.SETUP:
+            cpu += self.setup_processing_overhead * resources.load_factor
+        done = self.substrate.reserve_cpu(
+            receiver, cpu + self.substrate.per_packet_overhead
+        )
+
+        def process() -> None:
+            before_decoded = self._relay_decoded(relay, flow, receiver)
+            outputs = relay.handle_packet(packet, now=self.sim.now)
+            if not before_decoded and self._relay_decoded(relay, flow, receiver):
+                progress.relay_decode_times.setdefault(receiver, self.sim.now)
+            self._record_delivery(relay, flow, progress, receiver)
+            for output in outputs:
+                self._send_packet(output, flow, progress, sender_cpu=0.0)
+
+        self.sim.schedule_at(done, process)
+
+    def _relay_decoded(self, relay: Relay, flow: FlowSetup, address: str) -> bool:
+        flow_id = flow.plan.flow_ids.get(address)
+        state = relay.flows.get(flow_id) if flow_id is not None else None
+        return bool(state and state.decoded)
+
+    def _record_delivery(
+        self, relay: Relay, flow: FlowSetup, progress: FlowProgress, address: str
+    ) -> None:
+        if address != flow.destination:
+            return
+        flow_id = flow.plan.flow_ids[address]
+        for seq, message in relay.delivered_messages(flow_id).items():
+            if seq not in progress.delivered_messages:
+                progress.delivered_messages[seq] = self.sim.now
+                progress.delivered_bytes += len(message)
+                if progress.first_delivery_at is None:
+                    progress.first_delivery_at = self.sim.now
+                progress.last_delivery_at = self.sim.now
+
+    def _flush_setup(self, flow: FlowSetup, progress: FlowProgress) -> None:
+        for relay_address in flow.graph.relays:
+            relay = self.relays.get(relay_address)
+            if relay is None or not self.substrate.is_alive(relay_address):
+                continue
+            flow_id = flow.plan.flow_ids[relay_address]
+            for output in relay.flush_setup(flow_id):
+                self._send_packet(output, flow, progress, sender_cpu=0.0)
+
+    def _flush_data(self, flow: FlowSetup, progress: FlowProgress, seq: int) -> None:
+        for relay_address in flow.graph.relays:
+            relay = self.relays.get(relay_address)
+            if relay is None or not self.substrate.is_alive(relay_address):
+                continue
+            flow_id = flow.plan.flow_ids[relay_address]
+            for output in relay.flush_data(flow_id, seq):
+                self._send_packet(output, flow, progress, sender_cpu=0.0)
+            self._record_delivery(relay, flow, progress, relay_address)

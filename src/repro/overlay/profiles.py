@@ -1,0 +1,93 @@
+"""Testbed profiles: the paper's LAN and a PlanetLab-like wide-area overlay.
+
+A profile knows how to turn a list of addresses into a
+:class:`~repro.overlay.network.NetworkModel` and which churn model applies.
+Substituting these profiles for the paper's physical testbeds is documented
+in DESIGN.md §2; the knobs below are the calibration points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .churn import PLANETLAB_CHURN, STABLE_CHURN, ChurnModel
+from .network import NetworkModel, NodeResources, heterogeneous_network, uniform_network
+
+
+@dataclass(frozen=True)
+class OverlayProfile:
+    """A named testbed configuration."""
+
+    name: str
+    latency_seconds: float
+    latency_sigma: float
+    resources: NodeResources
+    churn: ChurnModel
+    heterogeneous: bool
+
+    def build_network(
+        self, addresses: list[str], rng: np.random.Generator | None = None
+    ) -> NetworkModel:
+        """Instantiate the network model for a concrete set of addresses."""
+        if not self.heterogeneous:
+            return uniform_network(addresses, self.latency_seconds, self.resources)
+        rng = np.random.default_rng() if rng is None else rng
+        return heterogeneous_network(
+            addresses,
+            rng,
+            latency_mean=self.latency_seconds,
+            latency_sigma=self.latency_sigma,
+            base_resources=self.resources,
+        )
+
+
+#: The paper's local testbed: 1 Gbps switched LAN, 2.8 GHz Pentiums, no churn.
+LAN_PROFILE = OverlayProfile(
+    name="lan",
+    latency_seconds=0.0002,
+    latency_sigma=0.0,
+    resources=NodeResources(
+        coding_seconds_per_byte_per_d=8e-9,
+        symmetric_seconds_per_byte=4e-9,
+        pk_encrypt_seconds=0.0015,
+        pk_decrypt_seconds=0.006,
+        bandwidth_bps=1e9,
+        load_factor=1.0,
+    ),
+    churn=STABLE_CHURN,
+    heterogeneous=False,
+)
+
+#: PlanetLab-like wide-area overlay: tens-of-milliseconds RTTs, contended
+#: CPUs (heavy-tailed load factors), modest access bandwidth, real churn.
+PLANETLAB_PROFILE = OverlayProfile(
+    name="planetlab",
+    latency_seconds=0.04,
+    latency_sigma=0.6,
+    resources=NodeResources(
+        coding_seconds_per_byte_per_d=8e-9,
+        symmetric_seconds_per_byte=4e-9,
+        pk_encrypt_seconds=0.0015,
+        pk_decrypt_seconds=0.006,
+        bandwidth_bps=10e6,
+        load_factor=8.0,
+    ),
+    churn=PLANETLAB_CHURN,
+    heterogeneous=True,
+)
+
+PROFILES: dict[str, OverlayProfile] = {
+    profile.name: profile for profile in (LAN_PROFILE, PLANETLAB_PROFILE)
+}
+
+
+def get_profile(name: str) -> OverlayProfile:
+    """Look up a profile by name ("lan" or "planetlab")."""
+    try:
+        return PROFILES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+        ) from exc

@@ -1,0 +1,93 @@
+"""A small discrete-event simulator.
+
+The performance experiments (§7) need controlled time: wide-area latencies,
+per-node CPU costs, node failures at precise instants, and reproducibility.
+Rather than racing wall-clock asyncio tasks, we schedule everything on a
+simulated clock.  The simulator is deliberately tiny — an event heap with
+deterministic tie-breaking — because all domain behaviour lives in the node
+runtimes built on top of it (:mod:`repro.overlay.node`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventSimulator.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventSimulator:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay}s in the past")
+        event = _ScheduledEvent(
+            time=self.now + delay, sequence=next(self._sequence), callback=callback
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute simulated time ``time``."""
+        return self.schedule(max(time - self.now, 0.0), callback)
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the simulated time at which processing stopped.
+        """
+        processed = 0
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            processed += 1
+            if processed > max_events:
+                raise SimulationError("event budget exceeded; possible livelock")
+            self.now = event.time
+            self.events_processed += 1
+            event.callback()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events still waiting."""
+        return sum(1 for event in self._queue if not event.cancelled)

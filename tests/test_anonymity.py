@@ -1,0 +1,211 @@
+"""Tests for the anonymity metric, attacker model, analysis and Monte Carlo."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymity.analysis import (
+    destination_case1_probability,
+    expected_destination_anonymity,
+    expected_source_anonymity,
+    redundancy_overhead,
+    source_case1_probability,
+)
+from repro.anonymity.attacker import AttackerView, StageLayout, sample_stage_layout
+from repro.anonymity.metrics import (
+    MetricError,
+    degree_of_anonymity,
+    entropy,
+    information_bits_missing,
+    max_entropy,
+    two_level_anonymity,
+)
+from repro.anonymity.simulation import simulate_anonymity, sweep_malicious_fraction
+from repro.baselines.chaum import simulate_chaum_anonymity
+
+
+# -- metrics ---------------------------------------------------------------------------
+
+
+def test_entropy_of_uniform_distribution():
+    assert entropy([0.25] * 4) == pytest.approx(2.0)
+    assert max_entropy(8) == pytest.approx(3.0)
+
+
+def test_entropy_rejects_bad_input():
+    with pytest.raises(MetricError):
+        entropy([])
+    with pytest.raises(MetricError):
+        entropy([-0.5, 1.5])
+    with pytest.raises(MetricError):
+        max_entropy(0)
+
+
+def test_degree_of_anonymity_bounds():
+    assert degree_of_anonymity([1.0], 100) == 0.0
+    uniform = [1 / 100] * 100
+    assert degree_of_anonymity(uniform, 100) == pytest.approx(1.0)
+
+
+def test_two_level_matches_direct_entropy():
+    n = 1000
+    high, p_high = 5, 0.1
+    low = 200
+    p_low = (1 - high * p_high) / low
+    direct = degree_of_anonymity([p_high] * high + [p_low] * low, n)
+    closed = two_level_anonymity(high, p_high, low, p_low, n)
+    assert closed == pytest.approx(direct, rel=1e-9)
+
+
+def test_information_bits_missing():
+    assert information_bits_missing(0.5, 1024) == pytest.approx(5.0)
+
+
+@given(
+    high=st.integers(min_value=0, max_value=20),
+    low=st.integers(min_value=1, max_value=500),
+    p_high=st.floats(min_value=0.0, max_value=0.05),
+)
+@settings(max_examples=60, deadline=None)
+def test_two_level_anonymity_in_unit_interval(high, low, p_high):
+    remaining = max(1.0 - high * p_high, 1e-9)
+    value = two_level_anonymity(high, p_high, low, remaining / low, 10_000)
+    assert 0.0 <= value <= 1.0
+
+
+# -- attacker view ----------------------------------------------------------------------
+
+
+def test_sample_layout_shape_and_clean_source_stage():
+    rng = np.random.default_rng(0)
+    layout = sample_stage_layout(8, 3, 0.3, rng)
+    assert layout.path_length == 8
+    assert len(layout.malicious) == 9
+    assert not any(layout.malicious[0])
+    # The destination slot is never malicious.
+    assert not layout.malicious[layout.destination_stage][layout.destination_position]
+
+
+def test_attacker_view_no_malicious_nodes():
+    layout = StageLayout(
+        malicious=tuple([tuple([False] * 3)] * 5),
+        destination_stage=2,
+        destination_position=0,
+        d=3,
+        d_prime=3,
+    )
+    view = AttackerView.from_layout(layout)
+    assert view.longest_chain_length == 0
+    assert not view.first_stage_decodable
+    assert not view.decodable_stage_before_destination
+
+
+def test_attacker_view_fully_compromised_first_stage():
+    malicious = [tuple([False] * 2)] + [tuple([True] * 2)] + [tuple([False] * 2)] * 3
+    layout = StageLayout(
+        malicious=tuple(malicious),
+        destination_stage=3,
+        destination_position=0,
+        d=2,
+        d_prime=2,
+    )
+    view = AttackerView.from_layout(layout)
+    assert view.first_stage_decodable
+    assert view.decodable_stage_before_destination
+    assert view.longest_chain_length >= 2
+
+
+def test_attacker_view_exposure_comes_from_neighbours():
+    # One malicious node in stage 2 exposes stages 1-3 (its parents, itself,
+    # its children) but not the source stage.
+    malicious = [
+        tuple([False, False]),
+        tuple([False, False]),
+        tuple([True, False]),
+        tuple([False, False]),
+    ]
+    layout = StageLayout(
+        malicious=tuple(malicious),
+        destination_stage=1,
+        destination_position=0,
+        d=2,
+        d_prime=2,
+    )
+    view = AttackerView.from_layout(layout)
+    assert view.exposed_stages[1] and view.exposed_stages[2] and view.exposed_stages[3]
+    assert not view.exposed_stages[0]
+    assert view.longest_chain_length == 3
+
+
+# -- analytical formulas -------------------------------------------------------------------
+
+
+def test_source_case1_probability_matches_f_power_d():
+    assert source_case1_probability(0.2, 3) == pytest.approx(0.2**3)
+
+
+def test_source_case1_with_redundancy_is_larger():
+    assert source_case1_probability(0.2, 3, 5) > source_case1_probability(0.2, 3)
+
+
+def test_destination_case1_increases_with_f_and_L():
+    low = destination_case1_probability(0.05, 3, 8)
+    high = destination_case1_probability(0.3, 3, 8)
+    assert high > low
+    longer = destination_case1_probability(0.3, 3, 16)
+    assert longer > high
+
+
+def test_expected_anonymity_decreases_with_chain_length():
+    short = expected_source_anonymity(10_000, 8, 3, 0.1, chain_length=1)
+    long = expected_source_anonymity(10_000, 8, 3, 0.1, chain_length=6)
+    assert short > long
+    short_d = expected_destination_anonymity(10_000, 8, 3, 0.1, chain_length=1)
+    long_d = expected_destination_anonymity(10_000, 8, 3, 0.1, chain_length=6)
+    assert short_d > long_d
+
+
+def test_redundancy_overhead():
+    assert redundancy_overhead(3, 6) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        redundancy_overhead(0, 1)
+
+
+# -- Monte Carlo -------------------------------------------------------------------------
+
+
+def test_simulation_low_f_gives_high_anonymity():
+    result = simulate_anonymity(10_000, 8, 3, 0.01, trials=300, rng=np.random.default_rng(1))
+    assert result.source_anonymity > 0.85
+    assert result.destination_anonymity > 0.85
+
+
+def test_simulation_anonymity_decreases_with_f():
+    low = simulate_anonymity(10_000, 8, 3, 0.05, trials=300, rng=np.random.default_rng(2))
+    high = simulate_anonymity(10_000, 8, 3, 0.5, trials=300, rng=np.random.default_rng(3))
+    assert low.source_anonymity > high.source_anonymity
+    assert low.destination_anonymity > high.destination_anonymity
+
+
+def test_destination_anonymity_falls_faster_than_source():
+    # Fig. 7's qualitative claim: discovering the destination only needs one
+    # fully-compromised stage upstream of it, so it degrades faster.
+    result = simulate_anonymity(10_000, 8, 3, 0.4, trials=400, rng=np.random.default_rng(4))
+    assert result.destination_anonymity < result.source_anonymity
+    assert result.destination_case1_rate > result.source_case1_rate
+
+
+def test_sweep_is_monotone_in_f():
+    rows = sweep_malicious_fraction(10_000, 8, 3, [0.01, 0.2, 0.6], trials=200)
+    anonymities = [result.source_anonymity for _, result in rows]
+    assert anonymities[0] > anonymities[1] > anonymities[2]
+
+
+def test_chaum_baseline_comparable_at_low_f():
+    slicing = simulate_anonymity(10_000, 8, 3, 0.05, trials=300, rng=np.random.default_rng(5))
+    chaum = simulate_chaum_anonymity(10_000, 8, 0.05, trials=300, rng=np.random.default_rng(6))
+    assert abs(slicing.source_anonymity - chaum.source_anonymity) < 0.15
+    assert chaum.destination_anonymity > 0.7

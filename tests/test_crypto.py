@@ -1,0 +1,86 @@
+"""Tests for the crypto substrates: keystream cipher, keys, PK cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.crypto.keys import KeyMaterial, generate_flow_id, generate_key, generate_nonce
+from repro.crypto.public_key import PublicKeyCostModel, SimulatedKeyPair
+from repro.crypto.symmetric import NONCE_SIZE, StreamCipher, decrypt, encrypt
+
+
+def test_stream_cipher_roundtrip():
+    cipher = StreamCipher(b"k" * 16)
+    nonce = b"\x01" * NONCE_SIZE
+    plaintext = b"the quick brown fox" * 10
+    ciphertext = cipher.encrypt(plaintext, nonce)
+    assert ciphertext != plaintext
+    assert cipher.decrypt(ciphertext, nonce) == plaintext
+
+
+def test_stream_cipher_nonce_separates_keystreams():
+    cipher = StreamCipher(b"key")
+    plaintext = b"\x00" * 64
+    a = cipher.encrypt(plaintext, b"\x00" * 8)
+    b = cipher.encrypt(plaintext, b"\x01" + b"\x00" * 7)
+    assert a != b
+
+
+def test_stream_cipher_key_separates_keystreams():
+    plaintext = b"\x00" * 64
+    nonce = b"\x07" * 8
+    assert encrypt(b"key-a", plaintext, nonce) != encrypt(b"key-b", plaintext, nonce)
+    assert decrypt(b"key-a", encrypt(b"key-a", plaintext, nonce), nonce) == plaintext
+
+
+def test_stream_cipher_rejects_bad_inputs():
+    with pytest.raises(ProtocolError):
+        StreamCipher(b"")
+    with pytest.raises(ProtocolError):
+        StreamCipher(b"key").encrypt(b"data", b"short")
+
+
+def test_seal_open_roundtrip():
+    cipher = StreamCipher(b"sealing key")
+    blob = cipher.seal(b"hidden", b"\x09" * 8)
+    assert cipher.open(blob) == b"hidden"
+    with pytest.raises(ProtocolError):
+        cipher.open(b"tiny")
+
+
+def test_generate_key_and_flow_id_reproducible():
+    a = generate_key(np.random.default_rng(1))
+    b = generate_key(np.random.default_rng(1))
+    assert a == b and len(a) == 16
+    flow_a = generate_flow_id(np.random.default_rng(2))
+    flow_b = generate_flow_id(np.random.default_rng(2))
+    assert flow_a == flow_b and flow_a != 0
+    assert len(generate_nonce(np.random.default_rng(3))) == 8
+
+
+def test_key_material_nonce_derivation():
+    material = KeyMaterial.generate(np.random.default_rng(4))
+    assert material.nonce_for(1) != material.nonce_for(2)
+    assert len(material.nonce_for(7)) == 8
+
+
+def test_simulated_keypair_encrypt_decrypt():
+    rng = np.random.default_rng(5)
+    pair = SimulatedKeyPair.generate("relay-a", rng)
+    envelope = pair.encrypt(b"onion layer")
+    assert b"onion layer" not in envelope
+    assert pair.decrypt(envelope) == b"onion layer"
+
+
+def test_simulated_keypair_rejects_foreign_envelopes():
+    rng = np.random.default_rng(6)
+    alice = SimulatedKeyPair.generate("a", rng)
+    bob = SimulatedKeyPair.generate("b", rng)
+    with pytest.raises(ValueError):
+        bob.decrypt(alice.encrypt(b"not for bob"))
+
+
+def test_cost_model_defaults_ordering():
+    model = PublicKeyCostModel()
+    assert model.decrypt_seconds > model.encrypt_seconds > 0
+    assert model.symmetric_seconds_per_byte > 0

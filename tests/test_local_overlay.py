@@ -1,0 +1,170 @@
+"""End-to-end integration tests over the in-memory overlay."""
+
+import numpy as np
+import pytest
+
+from repro.core.coder import SliceCoder
+from repro.core.errors import SimulationError
+from repro.core.packet import PacketKind
+from repro.core.source import Source
+from repro.overlay.local import LocalOverlay
+
+
+def build_overlay(num_relays=40):
+    overlay = LocalOverlay()
+    relays = [f"10.1.0.{i}" for i in range(1, num_relays + 1)]
+    overlay.add_nodes(relays + ["bob"])
+    return overlay, relays
+
+
+def make_source(d=2, d_prime=None, path_length=3, seed=1):
+    d_prime = d if d_prime is None else d_prime
+    return Source(
+        "alice-home",
+        [f"alice-extra-{i}" for i in range(d_prime - 1)],
+        d=d,
+        d_prime=d_prime,
+        path_length=path_length,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def test_end_to_end_delivery_basic():
+    overlay, relays = build_overlay()
+    source = make_source()
+    flow, delivered = overlay.run_flow(
+        source, relays, "bob", [b"Let's meet at 5pm", b"bring the docs"]
+    )
+    assert delivered == {0: b"Let's meet at 5pm", 1: b"bring the docs"}
+
+
+@pytest.mark.parametrize("d,path_length", [(2, 2), (3, 3), (2, 5), (4, 3)])
+def test_end_to_end_various_parameters(d, path_length):
+    overlay, relays = build_overlay(60)
+    source = make_source(d=d, path_length=path_length, seed=d * 10 + path_length)
+    message = bytes(f"parameters d={d} L={path_length}", "ascii")
+    _flow, delivered = overlay.run_flow(source, relays, "bob", [message])
+    assert delivered[0] == message
+
+
+def test_end_to_end_with_redundancy():
+    overlay, relays = build_overlay()
+    source = make_source(d=2, d_prime=4, path_length=3, seed=7)
+    _flow, delivered = overlay.run_flow(source, relays, "bob", [b"redundant"])
+    assert delivered[0] == b"redundant"
+
+
+def test_large_message_delivery():
+    overlay, relays = build_overlay()
+    source = make_source(d=3, path_length=3, seed=8)
+    payload = bytes(np.random.default_rng(0).integers(0, 256, 20_000, dtype=np.uint8))
+    _flow, delivered = overlay.run_flow(source, relays, "bob", [payload])
+    assert delivered[0] == payload
+
+
+def test_only_destination_decodes_the_message():
+    overlay, relays = build_overlay()
+    source = make_source(seed=9)
+    flow, delivered = overlay.run_flow(source, relays, "bob", [b"for bob only"])
+    assert delivered[0] == b"for bob only"
+    for relay_address in flow.graph.relays:
+        if relay_address == "bob":
+            continue
+        relay = overlay.node(relay_address)
+        for flow_id in relay.flows:
+            assert relay.delivered_messages(flow_id) == {}
+
+
+def test_relays_learn_only_parents_and_children():
+    overlay, relays = build_overlay()
+    source = make_source(path_length=4, seed=10)
+    flow, _ = overlay.run_flow(source, relays, "bob", [b"topology secrecy"])
+    graph = flow.graph
+    for relay_address in graph.relays:
+        relay = overlay.node(relay_address)
+        flow_id = flow.plan.flow_ids[relay_address]
+        info = relay.flows[flow_id].info
+        assert info is not None
+        # The decoded routing info names only the node's own children.
+        assert set(info.next_hop_addresses) == set(graph.children(relay_address))
+        known = set(info.next_hop_addresses)
+        all_others = set(graph.relays) - {relay_address}
+        hidden = all_others - known - set(graph.parents(relay_address))
+        # Addresses of non-adjacent relays never appear in what it decoded.
+        assert hidden.isdisjoint(known)
+
+
+def test_eavesdropper_with_partial_slices_cannot_decode():
+    overlay, relays = build_overlay()
+    source = make_source(d=3, path_length=3, seed=11)
+    flow, delivered = overlay.run_flow(source, relays, "bob", [b"confidential"])
+    assert delivered[0] == b"confidential"
+    # An attacker observing a single first-stage relay sees at most one data
+    # slice per message: strictly fewer than d, so decoding must fail.
+    victim = flow.graph.stages[1][0]
+    observed = overlay.observed_by({victim})
+    data_blocks = [
+        record.packet.slices[0]
+        for record in observed
+        if record.packet.kind == PacketKind.DATA and record.receiver == victim
+    ]
+    coder = SliceCoder(flow.d)
+    assert not coder.can_decode(data_blocks[: flow.d - 1])
+
+
+def test_failure_before_setup_kills_flow_without_redundancy():
+    overlay, relays = build_overlay()
+    source = make_source(d=2, path_length=3, seed=12)
+    flow = source.establish_flow(relays, "bob")
+    victim = [n for n in flow.graph.stages[1] if n != "bob"][0]
+    overlay.fail_node(victim)
+    overlay.inject(flow.setup_packets)
+    overlay.inject(source.make_data_packets(flow, b"will not arrive"))
+    overlay.flush_flow(flow)
+    delivered = overlay.node("bob").delivered_messages(flow.plan.flow_ids["bob"])
+    assert delivered == {}
+
+
+def test_failure_tolerated_with_redundancy():
+    overlay, relays = build_overlay(60)
+    source = make_source(d=2, d_prime=3, path_length=4, seed=13)
+    flow = source.establish_flow(relays, "bob")
+    overlay.inject(flow.setup_packets)
+    victim = [n for n in flow.graph.stages[2] if n != "bob"][0]
+    overlay.fail_node(victim)
+    overlay.inject(source.make_data_packets(flow, b"survives"))
+    overlay.flush_flow(flow)
+    delivered = overlay.node("bob").delivered_messages(flow.plan.flow_ids["bob"])
+    assert delivered == {0: b"survives"}
+
+
+def test_node_recovery_restores_delivery():
+    overlay, relays = build_overlay()
+    source = make_source(d=2, path_length=3, seed=14)
+    flow = source.establish_flow(relays, "bob")
+    overlay.inject(flow.setup_packets)
+    victim = [n for n in flow.graph.stages[1] if n != "bob"][0]
+    overlay.fail_node(victim)
+    overlay.inject(source.make_data_packets(flow, b"lost"))
+    overlay.recover_node(victim)
+    overlay.inject(source.make_data_packets(flow, b"found"))
+    overlay.flush_flow(flow)
+    delivered = overlay.node("bob").delivered_messages(flow.plan.flow_ids["bob"])
+    assert delivered.get(1) == b"found"
+
+
+def test_unknown_node_raises():
+    overlay = LocalOverlay()
+    with pytest.raises(SimulationError):
+        overlay.node("missing")
+
+
+def test_delivery_log_records_drops():
+    overlay, relays = build_overlay()
+    source = make_source(seed=15)
+    flow = source.establish_flow(relays, "bob")
+    victim = flow.graph.stages[1][0]
+    overlay.fail_node(victim)
+    overlay.inject(flow.setup_packets)
+    dropped = [r for r in overlay.log if not r.delivered]
+    assert dropped and all(r.receiver == victim for r in dropped)

@@ -1,0 +1,88 @@
+"""Wire-format tests for packets."""
+
+import numpy as np
+import pytest
+
+from repro.core.coder import SliceCoder
+from repro.core.errors import PacketFormatError
+from repro.core.packet import Packet, PacketKind, random_padding_slice
+
+
+def build_packet(num_slices: int = 3, d: int = 2, seq: int = 7) -> Packet:
+    coder = SliceCoder(d=d, d_prime=num_slices)
+    blocks = coder.encode(b"wire format payload", np.random.default_rng(0))
+    return Packet(
+        flow_id=0xDEADBEEFCAFEBABE,
+        kind=PacketKind.SETUP,
+        slices=blocks,
+        d=d,
+        lane=1,
+        seq=seq,
+        source_address="a",
+        destination_address="b",
+    )
+
+
+def test_packet_roundtrip_preserves_fields():
+    packet = build_packet()
+    parsed = Packet.from_bytes(packet.to_bytes(), "a", "b")
+    assert parsed.flow_id == packet.flow_id
+    assert parsed.kind == PacketKind.SETUP
+    assert parsed.d == packet.d
+    assert parsed.lane == packet.lane
+    assert parsed.seq == packet.seq
+    assert parsed.slice_count == packet.slice_count
+    for original, decoded in zip(packet.slices, parsed.slices):
+        assert np.array_equal(original.coefficients, decoded.coefficients)
+        assert np.array_equal(original.payload, decoded.payload)
+
+
+def test_packet_roundtrip_is_decodable():
+    packet = build_packet(num_slices=3, d=2)
+    parsed = Packet.from_bytes(packet.to_bytes())
+    coder = SliceCoder(d=2, d_prime=3)
+    assert coder.decode(parsed.slices) == b"wire format payload"
+
+
+def test_own_slice_is_slot_zero():
+    packet = build_packet()
+    assert packet.own_slice is packet.slices[0]
+    assert packet.payload_slices() == packet.slices[1:]
+
+
+def test_empty_packet_rejected():
+    packet = build_packet()
+    packet.slices = []
+    with pytest.raises(PacketFormatError):
+        packet.to_bytes()
+    with pytest.raises(PacketFormatError):
+        _ = packet.own_slice
+
+
+def test_unequal_slice_sizes_rejected():
+    packet = build_packet()
+    packet.slices[1] = random_padding_slice(2, 5, np.random.default_rng(1))
+    with pytest.raises(PacketFormatError):
+        packet.to_bytes()
+
+
+def test_truncated_bytes_rejected():
+    data = build_packet().to_bytes()
+    with pytest.raises(PacketFormatError):
+        Packet.from_bytes(data[:-3])
+    with pytest.raises(PacketFormatError):
+        Packet.from_bytes(data[:5])
+
+
+def test_random_padding_slice_shape():
+    rng = np.random.default_rng(2)
+    block = random_padding_slice(4, 100, rng)
+    assert block.coefficients.shape == (4,)
+    assert block.payload.shape == (100,)
+
+
+def test_packet_size_constant_across_slices():
+    packet = build_packet(num_slices=4, d=2)
+    sizes = {block.size_bytes() for block in packet.slices}
+    assert len(sizes) == 1
+    assert packet.size_bytes() == len(packet.to_bytes())

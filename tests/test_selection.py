@@ -1,0 +1,105 @@
+"""Tests for the synthetic AS database and AS-diverse relay selection (§9.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SelectionError
+from repro.overlay.address import (
+    ASDatabase,
+    assign_overlay_addresses,
+    generate_as_database,
+)
+from repro.overlay.selection import (
+    adversary_capture_probability,
+    as_diverse_selection,
+    uniform_selection,
+)
+
+
+@pytest.fixture(scope="module")
+def as_setup():
+    rng = np.random.default_rng(0)
+    database = generate_as_database(num_ases=25, rng=rng)
+    addresses = assign_overlay_addresses(database, 200, rng)
+    return database, addresses
+
+
+def test_database_covers_assigned_addresses(as_setup):
+    database, addresses = as_setup
+    for address in addresses[:50]:
+        asn = database.asn_of(address)
+        assert 64500 <= asn < 64500 + 25
+        assert database.country_of(address) != ""
+
+
+def test_prefix_allocation_is_skewed(as_setup):
+    database, _ = as_setup
+    counts: dict[int, int] = {}
+    for prefix in database.prefixes:
+        counts[prefix.asn] = counts.get(prefix.asn, 0) + 1
+    largest = max(counts.values())
+    smallest = min(counts.values())
+    assert largest >= 4 * smallest  # Zipf-like concentration
+
+
+def test_unknown_address_raises(as_setup):
+    database, _ = as_setup
+    with pytest.raises(SelectionError):
+        database.asn_of("203.0.113.9")
+
+
+def test_uniform_selection_size_and_errors(as_setup):
+    _, addresses = as_setup
+    rng = np.random.default_rng(1)
+    chosen = uniform_selection(addresses, 24, rng)
+    assert len(chosen) == 24 and len(set(chosen)) == 24
+    with pytest.raises(SelectionError):
+        uniform_selection(addresses[:5], 10, rng)
+
+
+def test_as_diverse_selection_spreads_across_ases(as_setup):
+    database, addresses = as_setup
+    rng = np.random.default_rng(2)
+    report = as_diverse_selection(addresses, 20, database, rng)
+    assert len(report.relays) == 20
+    assert report.distinct_ases >= 15
+    assert report.distinct_countries >= 5
+
+
+def test_as_diverse_beats_uniform_against_concentrated_adversary():
+    rng = np.random.default_rng(3)
+    database = generate_as_database(num_ases=20, rng=rng)
+    # The adversary controls the single largest AS and fills the overlay with
+    # nodes from its own space (§9.1's attack).
+    addresses = assign_overlay_addresses(database, 300, rng, concentrated_fraction=0.5)
+    counts: dict[int, int] = {}
+    for prefix in database.prefixes:
+        counts[prefix.asn] = counts.get(prefix.asn, 0) + 1
+    adversary_asn = max(counts, key=counts.get)
+
+    uniform_captures = []
+    diverse_captures = []
+    for seed in range(10):
+        trial_rng = np.random.default_rng(100 + seed)
+        uniform_relays = uniform_selection(addresses, 24, trial_rng)
+        diverse_relays = as_diverse_selection(addresses, 24, database, trial_rng).relays
+        uniform_captures.append(
+            adversary_capture_probability(uniform_relays, {adversary_asn}, database)
+        )
+        diverse_captures.append(
+            adversary_capture_probability(diverse_relays, {adversary_asn}, database)
+        )
+    assert np.mean(diverse_captures) < np.mean(uniform_captures)
+
+
+def test_capture_probability_edge_cases(as_setup):
+    database, addresses = as_setup
+    assert adversary_capture_probability([], {64500}, database) == 0.0
+    assert adversary_capture_probability(addresses[:3], set(), database) == 0.0
+
+
+def test_generate_database_validation():
+    with pytest.raises(SelectionError):
+        generate_as_database(0, np.random.default_rng(0))
+    with pytest.raises(SelectionError):
+        assign_overlay_addresses(ASDatabase(), 5, np.random.default_rng(0))
