@@ -2,52 +2,21 @@
 
 Against an adversary who owns the largest AS and fills the overlay with nodes
 from its own address space, AS-diverse selection sharply cuts the fraction of
-chosen relays the adversary controls.
+chosen relays the adversary controls.  Runs through the experiment runner
+(``run_experiment("ablation_as_selection")``).
 """
 
-import numpy as np
-
 from repro.experiments import format_table
-from repro.overlay.address import assign_overlay_addresses, generate_as_database
-from repro.overlay.selection import (
-    adversary_capture_probability,
-    as_diverse_selection,
-    uniform_selection,
-)
-
-
-def run_ablation(trials: int = 30) -> list[dict]:
-    rng = np.random.default_rng(0)
-    database = generate_as_database(num_ases=30, rng=rng)
-    addresses = assign_overlay_addresses(database, 400, rng, concentrated_fraction=0.45)
-    counts: dict[int, int] = {}
-    for prefix in database.prefixes:
-        counts[prefix.asn] = counts.get(prefix.asn, 0) + 1
-    adversary = {max(counts, key=counts.get)}
-    uniform_capture, diverse_capture = [], []
-    for seed in range(trials):
-        trial_rng = np.random.default_rng(seed)
-        uniform_capture.append(
-            adversary_capture_probability(
-                uniform_selection(addresses, 24, trial_rng), adversary, database
-            )
-        )
-        diverse_capture.append(
-            adversary_capture_probability(
-                as_diverse_selection(addresses, 24, database, trial_rng).relays,
-                adversary,
-                database,
-            )
-        )
-    return [
-        {"policy": "uniform", "adversary_capture_fraction": float(np.mean(uniform_capture))},
-        {"policy": "as-diverse", "adversary_capture_fraction": float(np.mean(diverse_capture))},
-    ]
+from repro.experiments.runner import experiment_rows
 
 
 def test_ablation_as_selection(benchmark, scale):
-    trials = max(int(60 * scale), 10)
-    rows = benchmark.pedantic(run_ablation, kwargs={"trials": trials}, iterations=1, rounds=1)
-    assert rows[1]["adversary_capture_fraction"] < rows[0]["adversary_capture_fraction"]
+    rows = benchmark.pedantic(
+        experiment_rows,
+        kwargs={"name": "ablation_as_selection", "scale": scale},
+        iterations=1,
+        rounds=1,
+    )
+    assert rows[1]['adversary_capture_fraction'] < rows[0]['adversary_capture_fraction']
     print()
     print(format_table(rows))

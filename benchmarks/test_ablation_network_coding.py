@@ -2,57 +2,21 @@
 
 Same churn pattern, same redundancy (d=2, d'=3): with regeneration disabled a
 relay that lost a parent cannot replace the missing slice, so downstream
-failures compound — which is exactly the gap between Eq. 6 and Eq. 7.
+failures compound — which is exactly the gap between Eq. 6 and Eq. 7.  Runs
+through the experiment runner (``run_experiment("ablation_network_coding")``).
 """
 
-import numpy as np
-
-from repro.core.source import Source
 from repro.experiments import format_table
-from repro.overlay.local import LocalOverlay
-
-
-def _run_trials(regenerate: bool, trials: int, failures_per_stage: int = 1) -> float:
-    successes = 0
-    for trial in range(trials):
-        overlay = LocalOverlay()
-        relays = [f"relay-{i}" for i in range(60)]
-        overlay.add_nodes(relays + ["dest"], seed=trial)
-        for relay in overlay.relays.values():
-            relay.regenerate_redundancy = regenerate
-        source = Source(
-            "src",
-            ["src-b", "src-c"],
-            d=2,
-            d_prime=3,
-            path_length=4,
-            rng=np.random.default_rng(1000 + trial),
-        )
-        flow = source.establish_flow(relays, "dest")
-        overlay.inject(flow.setup_packets)
-        rng = np.random.default_rng(2000 + trial)
-        # Fail one randomly chosen non-destination relay in every stage after
-        # setup: survivable iff redundancy keeps getting regenerated.
-        for stage in flow.graph.stages[1:]:
-            candidates = [node for node in stage if node != "dest"]
-            overlay.fail_node(candidates[int(rng.integers(0, len(candidates)))])
-        overlay.inject(source.make_data_packets(flow, b"payload"))
-        overlay.flush_flow(flow)
-        delivered = overlay.node("dest").delivered_messages(flow.plan.flow_ids["dest"])
-        successes += int(delivered.get(0) == b"payload")
-    return successes / trials
-
-
-def run_ablation(trials: int = 30) -> list[dict]:
-    return [
-        {"regeneration": "enabled", "success_rate": _run_trials(True, trials)},
-        {"regeneration": "disabled", "success_rate": _run_trials(False, trials)},
-    ]
+from repro.experiments.runner import experiment_rows
 
 
 def test_ablation_network_coding(benchmark, scale):
-    trials = max(int(60 * scale), 15)
-    rows = benchmark.pedantic(run_ablation, kwargs={"trials": trials}, iterations=1, rounds=1)
-    assert rows[0]["success_rate"] >= rows[1]["success_rate"]
+    rows = benchmark.pedantic(
+        experiment_rows,
+        kwargs={"name": "ablation_network_coding", "scale": scale},
+        iterations=1,
+        rounds=1,
+    )
+    assert rows[0]['success_rate'] >= rows[1]['success_rate']
     print()
     print(format_table(rows))

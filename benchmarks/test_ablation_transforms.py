@@ -1,57 +1,22 @@
 """Ablation: per-hop anti-pattern transforms (§9.4a) — CPU overhead.
 
 Measures how much the per-hop affine transform adds on top of plain coding
-for a 1500-byte packet, across split factors.  The overhead should stay a
+for a 1500-byte packet, across split factors, through the experiment runner
+(``run_experiment("ablation_transforms")``).  The overhead should stay a
 small fraction of the coding cost itself.
 """
 
-import time
-
-import numpy as np
-
-from repro.core.coder import SliceCoder
-from repro.core.transforms import build_transform_chain
 from repro.experiments import format_table
-
-
-def run_ablation(iterations: int = 50) -> list[dict]:
-    rng = np.random.default_rng(1)
-    packet = bytes(rng.integers(0, 256, 1500, dtype=np.uint8).tobytes())
-    rows = []
-    for d in (2, 3, 5):
-        coder = SliceCoder(d)
-        blocks = coder.encode(packet, rng)
-        combined, inverses = build_transform_chain(4, rng)
-
-        start = time.perf_counter()
-        for _ in range(iterations):
-            coder.encode(packet, rng)
-        encode_us = (time.perf_counter() - start) / iterations * 1e6
-
-        start = time.perf_counter()
-        for _ in range(iterations):
-            for block in blocks:
-                transformed = combined.apply_block(block)
-                for inverse in inverses:
-                    transformed = inverse.apply_block(transformed)
-        transform_us = (time.perf_counter() - start) / iterations * 1e6
-
-        rows.append(
-            {
-                "d": d,
-                "encode_us": encode_us,
-                "transform_chain_us": transform_us,
-                "overhead_ratio": transform_us / max(encode_us, 1e-9),
-            }
-        )
-    return rows
+from repro.experiments.runner import experiment_rows
 
 
 def test_ablation_transforms(benchmark, scale):
-    iterations = max(int(100 * scale), 10)
     rows = benchmark.pedantic(
-        run_ablation, kwargs={"iterations": iterations}, iterations=1, rounds=1
+        experiment_rows,
+        kwargs={"name": "ablation_transforms", "scale": scale},
+        iterations=1,
+        rounds=1,
     )
-    assert all(row["transform_chain_us"] > 0 for row in rows)
+    assert all(row['transform_chain_us'] > 0 for row in rows)
     print()
     print(format_table(rows))

@@ -1,16 +1,18 @@
 """Fig. 7: source/destination anonymity vs. fraction of malicious nodes,
 compared against Chaum mixes (N=10000, L=8, d=3).
 
-Regenerates the figure's series via :func:`repro.experiments.figure07_anonymity_vs_malicious` and
-prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+Regenerates the figure's series through the experiment runner
+(``run_experiment("fig07")``) and prints the rows the paper plots.  See
+EXPERIMENTS.md for paper-vs-measured.
 """
 
-from repro.experiments import figure07_anonymity_vs_malicious, format_table
+from repro.experiments import format_table
+from repro.experiments.runner import experiment_rows
 
 
 def test_fig07_anonymity_vs_malicious(benchmark, scale):
     rows = benchmark.pedantic(
-        figure07_anonymity_vs_malicious, kwargs={"scale": scale}, iterations=1, rounds=1
+        experiment_rows, kwargs={"name": "fig07", "scale": scale}, iterations=1, rounds=1
     )
     assert rows[0]['source_anonymity'] > 0.9
     assert rows[-1]['source_anonymity'] < rows[0]['source_anonymity']

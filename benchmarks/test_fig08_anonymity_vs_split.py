@@ -1,15 +1,17 @@
 """Fig. 8: anonymity vs. the split factor d for f=0.1 and f=0.4.
 
-Regenerates the figure's series via :func:`repro.experiments.figure08_anonymity_vs_split` and
-prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+Regenerates the figure's series through the experiment runner
+(``run_experiment("fig08")``) and prints the rows the paper plots.  See
+EXPERIMENTS.md for paper-vs-measured.
 """
 
-from repro.experiments import figure08_anonymity_vs_split, format_table
+from repro.experiments import format_table
+from repro.experiments.runner import experiment_rows
 
 
 def test_fig08_anonymity_vs_split(benchmark, scale):
     rows = benchmark.pedantic(
-        figure08_anonymity_vs_split, kwargs={"scale": scale}, iterations=1, rounds=1
+        experiment_rows, kwargs={"name": "fig08", "scale": scale}, iterations=1, rounds=1
     )
     assert rows[0]['split_factor'] == 2
     assert all(0.0 <= r['destination_anonymity_f0.4'] <= 1.0 for r in rows)

@@ -1,15 +1,17 @@
 """Fig. 9: anonymity vs. path length L (d=3, f=0.1); both curves rise with L.
 
-Regenerates the figure's series via :func:`repro.experiments.figure09_anonymity_vs_path_length` and
-prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+Regenerates the figure's series through the experiment runner
+(``run_experiment("fig09")``) and prints the rows the paper plots.  See
+EXPERIMENTS.md for paper-vs-measured.
 """
 
-from repro.experiments import figure09_anonymity_vs_path_length, format_table
+from repro.experiments import format_table
+from repro.experiments.runner import experiment_rows
 
 
 def test_fig09_anonymity_vs_pathlen(benchmark, scale):
     rows = benchmark.pedantic(
-        figure09_anonymity_vs_path_length, kwargs={"scale": scale}, iterations=1, rounds=1
+        experiment_rows, kwargs={"name": "fig09", "scale": scale}, iterations=1, rounds=1
     )
     assert rows[-1]['source_anonymity'] >= rows[0]['source_anonymity'] - 0.05
     print()

@@ -1,16 +1,18 @@
 """Fig. 10: anonymity vs. added redundancy (d=3, L=8, f=0.1); destination
 anonymity decreases as redundancy grows.
 
-Regenerates the figure's series via :func:`repro.experiments.figure10_anonymity_vs_redundancy` and
-prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+Regenerates the figure's series through the experiment runner
+(``run_experiment("fig10")``) and prints the rows the paper plots.  See
+EXPERIMENTS.md for paper-vs-measured.
 """
 
-from repro.experiments import figure10_anonymity_vs_redundancy, format_table
+from repro.experiments import format_table
+from repro.experiments.runner import experiment_rows
 
 
 def test_fig10_anonymity_vs_redundancy(benchmark, scale):
     rows = benchmark.pedantic(
-        figure10_anonymity_vs_redundancy, kwargs={"scale": scale}, iterations=1, rounds=1
+        experiment_rows, kwargs={"name": "fig10", "scale": scale}, iterations=1, rounds=1
     )
     assert rows[0]['destination_anonymity'] >= rows[-1]['destination_anonymity'] - 0.05
     print()

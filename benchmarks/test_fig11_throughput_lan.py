@@ -1,16 +1,18 @@
 """Fig. 11: LAN throughput vs. path length; information slicing (d=2) beats
 onion routing at every path length.
 
-Regenerates the figure's series via :func:`repro.experiments.figure11_throughput_lan` and
-prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+Regenerates the figure's series through the experiment runner
+(``run_experiment("fig11")``) and prints the rows the paper plots.  See
+EXPERIMENTS.md for paper-vs-measured.
 """
 
-from repro.experiments import figure11_throughput_lan, format_table
+from repro.experiments import format_table
+from repro.experiments.runner import experiment_rows
 
 
 def test_fig11_throughput_lan(benchmark, scale):
     rows = benchmark.pedantic(
-        figure11_throughput_lan, kwargs={"scale": scale}, iterations=1, rounds=1
+        experiment_rows, kwargs={"name": "fig11", "scale": scale}, iterations=1, rounds=1
     )
     assert all(r['slicing_mbps'] > r['onion_mbps'] for r in rows)
     print()

@@ -1,15 +1,17 @@
 """Fig. 12: PlanetLab-profile throughput vs. path length; slicing wins.
 
-Regenerates the figure's series via :func:`repro.experiments.figure12_throughput_wan` and
-prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+Regenerates the figure's series through the experiment runner
+(``run_experiment("fig12")``) and prints the rows the paper plots.  See
+EXPERIMENTS.md for paper-vs-measured.
 """
 
-from repro.experiments import figure12_throughput_wan, format_table
+from repro.experiments import format_table
+from repro.experiments.runner import experiment_rows
 
 
 def test_fig12_throughput_wan(benchmark, scale):
     rows = benchmark.pedantic(
-        figure12_throughput_wan, kwargs={"scale": scale}, iterations=1, rounds=1
+        experiment_rows, kwargs={"name": "fig12", "scale": scale}, iterations=1, rounds=1
     )
     assert all(r['slicing_mbps'] > r['onion_mbps'] for r in rows)
     print()

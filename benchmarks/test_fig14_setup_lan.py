@@ -1,16 +1,18 @@
 """Fig. 14: LAN route-setup latency vs. path length for onion routing and
 slicing with d=2,3,4; larger d means longer setup.
 
-Regenerates the figure's series via :func:`repro.experiments.figure14_setup_latency_lan` and
-prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+Regenerates the figure's series through the experiment runner
+(``run_experiment("fig14")``) and prints the rows the paper plots.  See
+EXPERIMENTS.md for paper-vs-measured.
 """
 
-from repro.experiments import figure14_setup_latency_lan, format_table
+from repro.experiments import format_table
+from repro.experiments.runner import experiment_rows
 
 
 def test_fig14_setup_lan(benchmark, scale):
     rows = benchmark.pedantic(
-        figure14_setup_latency_lan, kwargs={"scale": scale}, iterations=1, rounds=1
+        experiment_rows, kwargs={"name": "fig14", "scale": scale}, iterations=1, rounds=1
     )
     assert all(r['slicing_d2_seconds'] < r['slicing_d4_seconds'] for r in rows)
     assert all(r['onion_seconds'] < r['slicing_d2_seconds'] for r in rows)

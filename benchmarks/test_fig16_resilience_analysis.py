@@ -1,16 +1,18 @@
 """Fig. 16: analytical transfer-success probability vs. added redundancy
 (Eqs. 6-7, L=5, d=2, p=0.1/0.3); slicing dominates onion+erasure.
 
-Regenerates the figure's series via :func:`repro.experiments.figure16_resilience_analysis` and
-prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+Regenerates the figure's series through the experiment runner
+(``run_experiment("fig16")``) and prints the rows the paper plots.  See
+EXPERIMENTS.md for paper-vs-measured.
 """
 
-from repro.experiments import figure16_resilience_analysis, format_table
+from repro.experiments import format_table
+from repro.experiments.runner import experiment_rows
 
 
 def test_fig16_resilience_analysis(benchmark, scale):
     rows = benchmark.pedantic(
-        figure16_resilience_analysis, kwargs={"scale": scale}, iterations=1, rounds=1
+        experiment_rows, kwargs={"name": "fig16", "scale": scale}, iterations=1, rounds=1
     )
     assert all(r['information_slicing_success'] >= r['onion_erasure_success'] - 1e-9 for r in rows)
     print()

@@ -1,16 +1,18 @@
 """Fig. 17: probability of completing a 30-minute transfer on a churning
 overlay vs. added redundancy (L=5, d=2).
 
-Regenerates the figure's series via :func:`repro.experiments.figure17_churn_resilience` and
-prints the rows the paper plots.  See EXPERIMENTS.md for paper-vs-measured.
+Regenerates the figure's series through the experiment runner
+(``run_experiment("fig17")``) and prints the rows the paper plots.  See
+EXPERIMENTS.md for paper-vs-measured.
 """
 
-from repro.experiments import figure17_churn_resilience, format_table
+from repro.experiments import format_table
+from repro.experiments.runner import experiment_rows
 
 
 def test_fig17_churn_resilience(benchmark, scale):
     rows = benchmark.pedantic(
-        figure17_churn_resilience, kwargs={"scale": scale}, iterations=1, rounds=1
+        experiment_rows, kwargs={"name": "fig17", "scale": scale}, iterations=1, rounds=1
     )
     assert rows[-1]['information_slicing_success'] > rows[-1]['onion_erasure_success']
     assert rows[-1]['information_slicing_success'] > rows[0]['information_slicing_success']

@@ -1,0 +1,7 @@
+"""Compatibility shim: lets `pip install -e . --no-use-pep517` work in
+minimal environments (no `wheel` package, no network for build isolation).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .attacker import AttackerView, StageLayout, sample_stage_layout
+from .attacker import AttackerView, sample_stage_layout
 from .metrics import two_level_anonymity
 
 

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core.errors import ProtocolError
 from .erasure import ErasureCoder, ErasureShare
 from .onion import OnionCircuit, OnionDirectory, OnionRelay, OnionSource

@@ -23,7 +23,7 @@ import numpy as np
 from ..crypto.symmetric import StreamCipher
 from .coder import CodedBlock, SliceCoder
 from .errors import CodingError, InsufficientSlicesError, ProtocolError
-from .integrity import robust_decode, unwrap
+from .integrity import robust_decode
 from .node_info import NodeInfo
 from .packet import Packet, PacketKind, random_padding_slice
 from .source import data_nonce

@@ -201,10 +201,46 @@ class Source:
         if sequence is None:
             sequence = flow.next_sequence
             flow.next_sequence += 1
-        plan = flow.plan
         cipher = StreamCipher(flow.destination_key)
         ciphertext = cipher.encrypt(bytes(message), data_nonce(sequence))
         blocks = flow.coder.encode(wrap(ciphertext), self.rng)
+        return self._packetise_data(flow, blocks, sequence)
+
+    def make_data_packets_batch(
+        self, flow: FlowSetup, messages: list[bytes]
+    ) -> list[list[Packet]]:
+        """Batched :meth:`make_data_packets`: one packet list per message.
+
+        Equal-length messages (the steady-state data path sends fixed-size
+        packets) are coded in a single batched GF(2^8) pass via
+        :meth:`~repro.core.coder.SliceCoder.encode_batch`; mixed lengths fall
+        back to per-message coding.
+        """
+        if not messages:
+            return []
+        sequences = list(
+            range(flow.next_sequence, flow.next_sequence + len(messages))
+        )
+        flow.next_sequence += len(messages)
+        cipher = StreamCipher(flow.destination_key)
+        wrapped = [
+            wrap(cipher.encrypt(bytes(message), data_nonce(sequence)))
+            for sequence, message in zip(sequences, messages)
+        ]
+        if len({len(blob) for blob in wrapped}) == 1:
+            blocks_batch = flow.coder.encode_batch(wrapped, self.rng)
+        else:
+            blocks_batch = [flow.coder.encode(blob, self.rng) for blob in wrapped]
+        return [
+            self._packetise_data(flow, blocks, sequence)
+            for sequence, blocks in zip(sequences, blocks_batch)
+        ]
+
+    def _packetise_data(
+        self, flow: FlowSetup, blocks: list[CodedBlock], sequence: int
+    ) -> list[Packet]:
+        """One data packet per (source-stage node, first-stage relay) pair."""
+        plan = flow.plan
         packets: list[Packet] = []
         for lane, origin in enumerate(plan.graph.source_stage):
             for child in plan.graph.stages[1]:

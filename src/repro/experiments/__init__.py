@@ -1,5 +1,10 @@
-"""Experiment harness: one runner per paper figure, plus ablations."""
+"""Experiment harness: a registry of named experiments plus a parallel runner."""
 
+from .ablations import (
+    ablation_as_selection,
+    ablation_network_coding,
+    ablation_transforms,
+)
 from .figures import (
     FIGURES,
     coding_microbenchmark,
@@ -15,6 +20,8 @@ from .figures import (
     figure16_resilience_analysis,
     figure17_churn_resilience,
 )
+from .registry import REGISTRY, Experiment, experiment_names, get_experiment, register
+from .runner import RunResult, experiment_rows, run_experiment
 from .setup_latency import measure_onion_setup, measure_slicing_setup, setup_latency_sweep
 from .tables import format_table
 from .throughput import (
@@ -27,6 +34,17 @@ from .throughput import (
 
 __all__ = [
     "FIGURES",
+    "REGISTRY",
+    "Experiment",
+    "RunResult",
+    "register",
+    "get_experiment",
+    "experiment_names",
+    "run_experiment",
+    "experiment_rows",
+    "ablation_transforms",
+    "ablation_as_selection",
+    "ablation_network_coding",
     "format_table",
     "figure07_anonymity_vs_malicious",
     "figure08_anonymity_vs_split",

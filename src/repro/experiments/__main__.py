@@ -1,20 +1,132 @@
-"""Command-line experiment runner: ``python -m repro.experiments [fig07 ...]``.
+"""Command-line experiment runner.
 
-With no arguments, every figure is regenerated at a reduced scale; pass
-``--scale 1.0`` for the paper's full trial counts and figure names to select
-a subset.
+Subcommands::
+
+    python -m repro.experiments run <name> [...] [--workers N] [--scale S]
+                                    [--out DIR] [--seed N] [--force]
+    python -m repro.experiments list
+
+``run`` executes registered experiments through the parallel runner and
+writes canonical JSON artifacts (default: ``results/``); artifacts matching
+the requested (experiment, scale, seed) are re-used unless ``--force``.
+``list`` prints every registered experiment.
+
+The legacy invocation ``python -m repro.experiments [fig07 ...] [--scale S]``
+still works: it runs the named figures inline and prints their tables.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from .figures import FIGURES
+from .registry import experiment_names, get_experiment
+from .runner import DEFAULT_RESULTS_DIR, run_experiment
 from .tables import format_table
+
+_SUBCOMMANDS = ("run", "list")
+
+
+def _positive_float(raw: str) -> float:
+    value = float(raw)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {raw}")
+    return value
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {raw}")
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+    import sys
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _dispatch(argv)
+    return _legacy_main(argv)
+
+
+def _dispatch(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run experiments through the parallel runner"
+    )
+    run_parser.add_argument(
+        "names",
+        nargs="+",
+        metavar="name",
+        help="registered experiment names (see the 'list' subcommand)",
+    )
+    run_parser.add_argument(
+        "--workers", type=_positive_int, default=1, help="worker processes (default: 1)"
+    )
+    run_parser.add_argument(
+        "--scale",
+        type=_positive_float,
+        default=1.0,
+        help="trial-count scale factor (1.0 = the paper's full counts)",
+    )
+    run_parser.add_argument(
+        "--out",
+        default=str(DEFAULT_RESULTS_DIR),
+        help="artifact directory (default: results/)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment's base seed"
+    )
+    run_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even if a matching artifact exists",
+    )
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in experiment_names():
+            print(f"{name:24s} {get_experiment(name).title}")
+        return 0
+    return _run_command(args)
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    unknown = [name for name in args.names if name not in experiment_names()]
+    if unknown:
+        known = ", ".join(experiment_names())
+        print(f"unknown experiment(s): {', '.join(unknown)} (known: {known})")
+        return 2
+    for name in args.names:
+        result = run_experiment(
+            name,
+            scale=args.scale,
+            workers=args.workers,
+            seed=args.seed,
+            out_dir=args.out,
+            force=args.force,
+        )
+        status = "cached" if result.cached else f"{result.elapsed_seconds:.2f}s"
+        print(f"\n=== {name} (scale={result.scale}, seed={result.seed}, {status}) ===")
+        print(format_table(result.rows))
+        if result.artifact is not None:
+            print(f"artifact: {result.artifact}")
+    return 0
+
+
+def _legacy_main(argv: list[str]) -> int:
+    from .figures import FIGURES
+
+    parser = argparse.ArgumentParser(
+        description="Regenerate paper figures (legacy interface)."
+    )
     parser.add_argument(
         "figures",
         nargs="*",

@@ -1,228 +1,632 @@
-"""Per-figure experiment runners.
+"""Per-figure experiment definitions, registered with the experiment runner.
 
-One function per figure/table of the paper's evaluation.  Each returns a list
-of row dictionaries — the same series the paper plots — so benchmarks, tests
-and the command-line runner all share a single implementation.  ``scale``
-trades precision for speed (1.0 reproduces the paper's trial counts; the
-benchmark suite uses smaller values so a full run stays fast).
+Every figure of the paper's evaluation is declared as a named
+:class:`~repro.experiments.registry.Experiment`: a trial builder that expands
+``scale`` into independent trial dictionaries, a module-level ``run_trial``
+function (module-level so worker processes can pickle references to it), and
+a reduction that folds per-trial results into the row dictionaries the paper
+plots.  Monte-Carlo figures additionally split each parameter point into
+bounded chunks so the runner can spread one expensive point across workers.
+
+The ``figureXX_*`` functions remain the stable public API — each is now a
+thin wrapper that executes its registered experiment inline — and ``scale``
+keeps its old meaning (1.0 reproduces the paper's trial counts).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from ..anonymity.simulation import (
-    sweep_malicious_fraction,
-    sweep_path_length,
-    sweep_redundancy,
-    sweep_split_factor,
-)
-from ..baselines.chaum import sweep_chaum_anonymity
+from ..anonymity.simulation import simulate_anonymity
+from ..baselines.chaum import simulate_chaum_anonymity
+from ..core.coder import SliceCoder
 from ..overlay.churn import PLANETLAB_CHURN
 from ..overlay.profiles import LAN_PROFILE, PLANETLAB_PROFILE
-from ..resilience.analysis import sweep_redundancy as sweep_resilience_analysis
-from ..resilience.transfer import sweep_redundancy as sweep_transfer_redundancy
-from .setup_latency import setup_latency_sweep
-from .throughput import aggregate_throughput_vs_flows, throughput_vs_path_length
+from ..resilience.analysis import (
+    onion_erasure_success_probability,
+    slicing_success_probability,
+)
+from ..resilience.transfer import simulate_transfers
+from .registry import Experiment, register
+from .runner import experiment_rows
+from .setup_latency import measure_onion_setup, measure_slicing_setup
+from .throughput import (
+    aggregate_throughput_vs_flows,
+    measure_onion_throughput,
+    measure_slicing_throughput,
+)
+from .trials import chunked_points, merge_chunks, spawn_seed
 
 #: Default parameters straight from the paper's captions.
 DEFAULT_N = 10_000
 DEFAULT_TRIALS = 1000
+
+_PROFILES = {"lan": LAN_PROFILE, "planetlab": PLANETLAB_PROFILE}
 
 
 def _trials(scale: float) -> int:
     return max(int(DEFAULT_TRIALS * scale), 20)
 
 
+# -- Fig. 7: anonymity vs. fraction of malicious nodes ---------------------------
+
+_FIG07_FRACTIONS = [0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+_FIG07_FIELDS = (
+    "source_anonymity",
+    "destination_anonymity",
+    "chaum_source_anonymity",
+    "chaum_destination_anonymity",
+)
+
+
+def _fig07_trials(scale: float) -> list[dict]:
+    points = [{"fraction_malicious": f} for f in _FIG07_FRACTIONS]
+    return chunked_points(points, _trials(scale))
+
+
+def _fig07_run(params: dict, rng: np.random.Generator) -> dict:
+    fraction = params["fraction_malicious"]
+    trials = params["trials"]
+    slicing = simulate_anonymity(
+        DEFAULT_N, path_length=8, d=3, fraction_malicious=fraction, trials=trials, rng=rng
+    )
+    chaum = simulate_chaum_anonymity(
+        DEFAULT_N, path_length=8, fraction_malicious=fraction, trials=trials, rng=rng
+    )
+    return {
+        "fraction_malicious": fraction,
+        "trials": trials,
+        "source_anonymity": slicing.source_anonymity,
+        "destination_anonymity": slicing.destination_anonymity,
+        "chaum_source_anonymity": chaum.source_anonymity,
+        "chaum_destination_anonymity": chaum.destination_anonymity,
+    }
+
+
+def _fig07_reduce(trials: list[dict], results: list[dict]) -> list[dict]:
+    return merge_chunks(results, ("fraction_malicious",), _FIG07_FIELDS)
+
+
+register(
+    Experiment(
+        name="fig07",
+        title="Fig. 7: anonymity vs. fraction of malicious nodes (N=10000, L=8, d=3)",
+        build_trials=_fig07_trials,
+        run_trial=_fig07_run,
+        reduce=_fig07_reduce,
+    )
+)
+
+
 def figure07_anonymity_vs_malicious(scale: float = 1.0) -> list[dict]:
     """Fig. 7: anonymity vs. fraction of malicious nodes (N=10000, L=8, d=3)."""
-    fractions = [0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
-    trials = _trials(scale)
-    slicing = sweep_malicious_fraction(
-        DEFAULT_N, path_length=8, d=3, fractions=fractions, trials=trials
+    return experiment_rows("fig07", scale=scale)
+
+
+# -- Fig. 8: anonymity vs. split factor ------------------------------------------
+
+_FIG08_SPLIT_FACTORS = [2, 3, 4, 6, 8, 10, 12]
+
+
+def _fig08_trials(scale: float) -> list[dict]:
+    points = [
+        {"split_factor": d, "fraction_malicious": f}
+        for d in _FIG08_SPLIT_FACTORS
+        for f in (0.1, 0.4)
+    ]
+    return chunked_points(points, _trials(scale))
+
+
+def _fig08_run(params: dict, rng: np.random.Generator) -> dict:
+    result = simulate_anonymity(
+        DEFAULT_N,
+        path_length=8,
+        d=params["split_factor"],
+        fraction_malicious=params["fraction_malicious"],
+        trials=params["trials"],
+        rng=rng,
     )
-    chaum = sweep_chaum_anonymity(DEFAULT_N, path_length=8, fractions=fractions, trials=trials)
-    rows = []
-    for (fraction, s_result), (_, c_result) in zip(slicing, chaum):
-        rows.append(
-            {
-                "fraction_malicious": fraction,
-                "source_anonymity": s_result.source_anonymity,
-                "destination_anonymity": s_result.destination_anonymity,
-                "chaum_source_anonymity": c_result.source_anonymity,
-                "chaum_destination_anonymity": c_result.destination_anonymity,
-            }
-        )
-    return rows
+    return {
+        "split_factor": params["split_factor"],
+        "fraction_malicious": params["fraction_malicious"],
+        "trials": params["trials"],
+        "source_anonymity": result.source_anonymity,
+        "destination_anonymity": result.destination_anonymity,
+    }
+
+
+def _fig08_reduce(trials: list[dict], results: list[dict]) -> list[dict]:
+    merged = merge_chunks(
+        results,
+        ("split_factor", "fraction_malicious"),
+        ("source_anonymity", "destination_anonymity"),
+    )
+    rows: dict[int, dict] = {}
+    for entry in merged:
+        row = rows.setdefault(entry["split_factor"], {"split_factor": entry["split_factor"]})
+        suffix = f"f{entry['fraction_malicious']:g}"
+        row[f"source_anonymity_{suffix}"] = entry["source_anonymity"]
+        row[f"destination_anonymity_{suffix}"] = entry["destination_anonymity"]
+    return [rows[d] for d in sorted(rows)]
+
+
+register(
+    Experiment(
+        name="fig08",
+        title="Fig. 8: anonymity vs. split factor d (N=10000, L=8, f in {0.1, 0.4})",
+        build_trials=_fig08_trials,
+        run_trial=_fig08_run,
+        reduce=_fig08_reduce,
+    )
+)
 
 
 def figure08_anonymity_vs_split(scale: float = 1.0) -> list[dict]:
     """Fig. 8: anonymity vs. split factor d (N=10000, L=8, f in {0.1, 0.4})."""
-    split_factors = [2, 3, 4, 6, 8, 10, 12]
-    trials = _trials(scale)
-    rows = []
-    low = sweep_split_factor(DEFAULT_N, 8, split_factors, 0.1, trials=trials)
-    high = sweep_split_factor(DEFAULT_N, 8, split_factors, 0.4, trials=trials)
-    for (d, low_result), (_, high_result) in zip(low, high):
-        rows.append(
-            {
-                "split_factor": d,
-                "source_anonymity_f0.1": low_result.source_anonymity,
-                "destination_anonymity_f0.1": low_result.destination_anonymity,
-                "source_anonymity_f0.4": high_result.source_anonymity,
-                "destination_anonymity_f0.4": high_result.destination_anonymity,
-            }
-        )
-    return rows
+    return experiment_rows("fig08", scale=scale)
+
+
+# -- Fig. 9: anonymity vs. path length -------------------------------------------
+
+_FIG09_LENGTHS = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+
+
+def _fig09_trials(scale: float) -> list[dict]:
+    points = [{"path_length": length} for length in _FIG09_LENGTHS]
+    return chunked_points(points, _trials(scale))
+
+
+def _fig09_run(params: dict, rng: np.random.Generator) -> dict:
+    result = simulate_anonymity(
+        DEFAULT_N,
+        path_length=params["path_length"],
+        d=3,
+        fraction_malicious=0.1,
+        trials=params["trials"],
+        rng=rng,
+    )
+    return {
+        "path_length": params["path_length"],
+        "trials": params["trials"],
+        "source_anonymity": result.source_anonymity,
+        "destination_anonymity": result.destination_anonymity,
+    }
+
+
+def _fig09_reduce(trials: list[dict], results: list[dict]) -> list[dict]:
+    return merge_chunks(
+        results, ("path_length",), ("source_anonymity", "destination_anonymity")
+    )
+
+
+register(
+    Experiment(
+        name="fig09",
+        title="Fig. 9: anonymity vs. path length L (N=10000, d=3, f=0.1)",
+        build_trials=_fig09_trials,
+        run_trial=_fig09_run,
+        reduce=_fig09_reduce,
+    )
+)
 
 
 def figure09_anonymity_vs_path_length(scale: float = 1.0) -> list[dict]:
     """Fig. 9: anonymity vs. path length L (N=10000, d=3, f=0.1)."""
-    lengths = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
-    trials = _trials(scale)
-    results = sweep_path_length(DEFAULT_N, lengths, d=3, fraction_malicious=0.1, trials=trials)
-    return [
-        {
-            "path_length": length,
-            "source_anonymity": result.source_anonymity,
-            "destination_anonymity": result.destination_anonymity,
-        }
-        for length, result in results
-    ]
+    return experiment_rows("fig09", scale=scale)
+
+
+# -- Fig. 10: anonymity vs. added redundancy -------------------------------------
+
+_FIG10_D = 3
+_FIG10_D_PRIMES = [3, 4, 5, 6, 7, 8, 9, 10]
+
+
+def _fig10_trials(scale: float) -> list[dict]:
+    points = [{"d_prime": d_prime} for d_prime in _FIG10_D_PRIMES]
+    return chunked_points(points, _trials(scale))
+
+
+def _fig10_run(params: dict, rng: np.random.Generator) -> dict:
+    d_prime = params["d_prime"]
+    result = simulate_anonymity(
+        DEFAULT_N,
+        path_length=8,
+        d=_FIG10_D,
+        fraction_malicious=0.1,
+        trials=params["trials"],
+        rng=rng,
+        d_prime=d_prime,
+    )
+    return {
+        "added_redundancy": (d_prime - _FIG10_D) / _FIG10_D,
+        "trials": params["trials"],
+        "source_anonymity": result.source_anonymity,
+        "destination_anonymity": result.destination_anonymity,
+    }
+
+
+def _fig10_reduce(trials: list[dict], results: list[dict]) -> list[dict]:
+    return merge_chunks(
+        results, ("added_redundancy",), ("source_anonymity", "destination_anonymity")
+    )
+
+
+register(
+    Experiment(
+        name="fig10",
+        title="Fig. 10: anonymity vs. added redundancy (d=3, L=8, f=0.1)",
+        build_trials=_fig10_trials,
+        run_trial=_fig10_run,
+        reduce=_fig10_reduce,
+    )
+)
 
 
 def figure10_anonymity_vs_redundancy(scale: float = 1.0) -> list[dict]:
     """Fig. 10: anonymity vs. added redundancy (d=3, L=8, f=0.1)."""
-    d = 3
-    d_primes = [3, 4, 5, 6, 7, 8, 9, 10]
-    trials = _trials(scale)
-    results = sweep_redundancy(
-        DEFAULT_N, path_length=8, d=d, d_primes=d_primes, fraction_malicious=0.1, trials=trials
-    )
+    return experiment_rows("fig10", scale=scale)
+
+
+# -- Figs. 11 and 12: throughput vs. path length ---------------------------------
+
+
+def _throughput_trials(profile: str, num_messages: int) -> list[dict]:
     return [
-        {
-            "added_redundancy": redundancy,
-            "source_anonymity": result.source_anonymity,
-            "destination_anonymity": result.destination_anonymity,
-        }
-        for redundancy, result in results
+        {"profile": profile, "path_length": length, "d": 2, "num_messages": num_messages}
+        for length in (2, 3, 4, 5)
     ]
+
+
+def _fig11_trials(scale: float) -> list[dict]:
+    return _throughput_trials("lan", max(int(300 * scale), 40))
+
+
+def _fig12_trials(scale: float) -> list[dict]:
+    return _throughput_trials("planetlab", max(int(120 * scale), 20))
+
+
+def _throughput_run(params: dict, rng: np.random.Generator) -> dict:
+    profile = _PROFILES[params["profile"]]
+    slicing = measure_slicing_throughput(
+        profile,
+        params["path_length"],
+        d=params["d"],
+        num_messages=params["num_messages"],
+        seed=spawn_seed(rng),
+    )
+    onion = measure_onion_throughput(
+        profile,
+        params["path_length"],
+        num_messages=params["num_messages"],
+        seed=spawn_seed(rng),
+    )
+    return {
+        "path_length": params["path_length"],
+        "slicing_mbps": slicing.throughput_bps / 1e6,
+        "onion_mbps": onion.throughput_bps / 1e6,
+        "slicing_delivered": slicing.messages_delivered,
+        "onion_delivered": onion.messages_delivered,
+    }
+
+
+register(
+    Experiment(
+        name="fig11",
+        title="Fig. 11: LAN throughput vs. path length, slicing (d=2) vs. onion routing",
+        build_trials=_fig11_trials,
+        run_trial=_throughput_run,
+    )
+)
+
+register(
+    Experiment(
+        name="fig12",
+        title="Fig. 12: PlanetLab throughput vs. path length",
+        build_trials=_fig12_trials,
+        run_trial=_throughput_run,
+    )
+)
 
 
 def figure11_throughput_lan(scale: float = 1.0) -> list[dict]:
     """Fig. 11: LAN throughput vs. path length, slicing (d=2) vs. onion routing."""
-    num_messages = max(int(300 * scale), 40)
-    return throughput_vs_path_length(
-        LAN_PROFILE, path_lengths=[2, 3, 4, 5], d=2, num_messages=num_messages
-    )
+    return experiment_rows("fig11", scale=scale)
 
 
 def figure12_throughput_wan(scale: float = 1.0) -> list[dict]:
     """Fig. 12: PlanetLab throughput vs. path length."""
-    num_messages = max(int(120 * scale), 20)
-    return throughput_vs_path_length(
-        PLANETLAB_PROFILE, path_lengths=[2, 3, 4, 5], d=2, num_messages=num_messages
+    return experiment_rows("fig12", scale=scale)
+
+
+# -- Fig. 13: aggregate throughput vs. concurrent flows --------------------------
+
+
+def _fig13_trials(scale: float) -> list[dict]:
+    flow_counts = (
+        [1, 2, 4, 8, 16, 24] if scale < 1.0 else [1, 2, 4, 8, 16, 32, 64, 96, 128, 160]
     )
+    num_messages = max(int(60 * scale), 10)
+    return [
+        {"flows": flows, "num_messages": num_messages, "overlay_size": 100,
+         "path_length": 5, "d": 3}
+        for flows in flow_counts
+    ]
+
+
+def _fig13_run(params: dict, rng: np.random.Generator) -> dict:
+    rows = aggregate_throughput_vs_flows(
+        PLANETLAB_PROFILE,
+        flow_counts=[params["flows"]],
+        overlay_size=params["overlay_size"],
+        path_length=params["path_length"],
+        d=params["d"],
+        num_messages=params["num_messages"],
+        seed=spawn_seed(rng),
+    )
+    return rows[0]
+
+
+register(
+    Experiment(
+        name="fig13",
+        title="Fig. 13: aggregate throughput vs. number of concurrent flows",
+        build_trials=_fig13_trials,
+        run_trial=_fig13_run,
+    )
+)
 
 
 def figure13_scaling_with_flows(scale: float = 1.0) -> list[dict]:
     """Fig. 13: aggregate throughput vs. number of concurrent flows."""
-    flow_counts = [1, 2, 4, 8, 16, 24] if scale < 1.0 else [1, 2, 4, 8, 16, 32, 64, 96, 128, 160]
-    num_messages = max(int(60 * scale), 10)
-    return aggregate_throughput_vs_flows(
-        PLANETLAB_PROFILE,
-        flow_counts=flow_counts,
-        overlay_size=100,
-        path_length=5,
-        d=3,
-        num_messages=num_messages,
+    return experiment_rows("fig13", scale=scale)
+
+
+# -- Figs. 14 and 15: route-setup latency ----------------------------------------
+
+
+def _setup_trials(profile: str) -> list[dict]:
+    return [
+        {"profile": profile, "path_length": length, "split_factors": [2, 3, 4]}
+        for length in (1, 2, 3, 4, 5, 6)
+    ]
+
+
+def _fig14_trials(scale: float) -> list[dict]:
+    return _setup_trials("lan")
+
+
+def _fig15_trials(scale: float) -> list[dict]:
+    return _setup_trials("planetlab")
+
+
+def _setup_run(params: dict, rng: np.random.Generator) -> dict:
+    profile = _PROFILES[params["profile"]]
+    path_length = params["path_length"]
+    row: dict = {"path_length": path_length}
+    onion = measure_onion_setup(profile, path_length, seed=spawn_seed(rng))
+    row["onion_seconds"] = onion.setup_seconds
+    for d in params["split_factors"]:
+        result = measure_slicing_setup(
+            profile, path_length, d=d, seed=spawn_seed(rng)
+        )
+        row[f"slicing_d{d}_seconds"] = result.setup_seconds
+    return row
+
+
+register(
+    Experiment(
+        name="fig14",
+        title="Fig. 14: LAN route-setup latency vs. path length and split factor",
+        build_trials=_fig14_trials,
+        run_trial=_setup_run,
     )
+)
+
+register(
+    Experiment(
+        name="fig15",
+        title="Fig. 15: PlanetLab route-setup latency vs. path length and split factor",
+        build_trials=_fig15_trials,
+        run_trial=_setup_run,
+    )
+)
 
 
 def figure14_setup_latency_lan(scale: float = 1.0) -> list[dict]:
     """Fig. 14: LAN route-setup latency vs. path length and split factor."""
-    return setup_latency_sweep(LAN_PROFILE, path_lengths=[1, 2, 3, 4, 5, 6])
+    return experiment_rows("fig14", scale=scale)
 
 
 def figure15_setup_latency_wan(scale: float = 1.0) -> list[dict]:
     """Fig. 15: PlanetLab route-setup latency vs. path length and split factor."""
-    return setup_latency_sweep(PLANETLAB_PROFILE, path_lengths=[1, 2, 3, 4, 5, 6])
+    return experiment_rows("fig15", scale=scale)
+
+
+# -- Fig. 16: analytical resilience ----------------------------------------------
+
+_FIG16_D = 2
+_FIG16_D_PRIMES = [2, 3, 4, 5, 6, 7, 8, 10, 12]
+
+
+def _fig16_trials(scale: float) -> list[dict]:
+    return [
+        {"node_failure_prob": p, "d_prime": d_prime, "path_length": 5, "d": _FIG16_D}
+        for p in (0.1, 0.3)
+        for d_prime in _FIG16_D_PRIMES
+    ]
+
+
+def _fig16_run(params: dict, rng: np.random.Generator) -> dict:
+    p = params["node_failure_prob"]
+    d = params["d"]
+    d_prime = params["d_prime"]
+    path_length = params["path_length"]
+    return {
+        "node_failure_prob": p,
+        "added_redundancy": (d_prime - d) / d,
+        "onion_erasure_success": onion_erasure_success_probability(
+            p, path_length, d, d_prime
+        ),
+        "information_slicing_success": slicing_success_probability(
+            p, path_length, d, d_prime
+        ),
+    }
+
+
+register(
+    Experiment(
+        name="fig16",
+        title="Fig. 16: analytical success probability vs. redundancy (p=0.1 and 0.3)",
+        build_trials=_fig16_trials,
+        run_trial=_fig16_run,
+    )
+)
 
 
 def figure16_resilience_analysis(scale: float = 1.0) -> list[dict]:
     """Fig. 16: analytical success probability vs. redundancy (p=0.1 and 0.3)."""
-    d = 2
-    d_primes = [2, 3, 4, 5, 6, 7, 8, 10, 12]
-    rows = []
-    for failure_prob in (0.1, 0.3):
-        for point in sweep_resilience_analysis(failure_prob, path_length=5, d=d, d_primes=d_primes):
-            rows.append(
-                {
-                    "node_failure_prob": failure_prob,
-                    "added_redundancy": point.redundancy,
-                    "onion_erasure_success": point.onion_erasure,
-                    "information_slicing_success": point.information_slicing,
-                }
-            )
-    return rows
+    return experiment_rows("fig16", scale=scale)
+
+
+# -- Fig. 17: churn resilience ---------------------------------------------------
+
+_FIG17_D = 2
+_FIG17_D_PRIMES = [2, 3, 4, 5, 6]
+_FIG17_FIELDS = (
+    "information_slicing_success",
+    "onion_erasure_success",
+    "standard_onion_success",
+)
+
+
+def _fig17_trials(scale: float) -> list[dict]:
+    points = [{"d_prime": d_prime} for d_prime in _FIG17_D_PRIMES]
+    return chunked_points(points, _trials(scale))
+
+
+def _fig17_run(params: dict, rng: np.random.Generator) -> dict:
+    result = simulate_transfers(
+        PLANETLAB_CHURN,
+        session_seconds=30 * 60.0,
+        path_length=5,
+        d=_FIG17_D,
+        d_prime=params["d_prime"],
+        trials=params["trials"],
+        rng=rng,
+    )
+    return {
+        "added_redundancy": result.redundancy,
+        "trials": params["trials"],
+        "information_slicing_success": result.information_slicing,
+        "onion_erasure_success": result.onion_erasure,
+        "standard_onion_success": result.standard_onion,
+    }
+
+
+def _fig17_reduce(trials: list[dict], results: list[dict]) -> list[dict]:
+    return merge_chunks(results, ("added_redundancy",), _FIG17_FIELDS)
+
+
+register(
+    Experiment(
+        name="fig17",
+        title="Fig. 17: 30-minute transfer success vs. redundancy on a churning overlay",
+        build_trials=_fig17_trials,
+        run_trial=_fig17_run,
+        reduce=_fig17_reduce,
+    )
+)
 
 
 def figure17_churn_resilience(scale: float = 1.0) -> list[dict]:
     """Fig. 17: 30-minute transfer success vs. redundancy on a churning overlay."""
-    d = 2
-    d_primes = [2, 3, 4, 5, 6]
-    trials = _trials(scale)
-    results = sweep_transfer_redundancy(
-        PLANETLAB_CHURN,
-        session_seconds=30 * 60.0,
-        path_length=5,
-        d=d,
-        d_primes=d_primes,
-        trials=trials,
-    )
+    return experiment_rows("fig17", scale=scale)
+
+
+# -- §7.1 coding microbenchmark --------------------------------------------------
+
+#: Batch size the batched-coding comparison runs on (the acceptance target:
+#: ``encode_batch`` must beat a per-message loop on this many messages).
+MICROBENCH_BATCH = 64
+
+
+def _microbench_trials(scale: float) -> list[dict]:
+    iterations = max(int(50 * scale), 10)
     return [
-        {
-            "added_redundancy": result.redundancy,
-            "information_slicing_success": result.information_slicing,
-            "onion_erasure_success": result.onion_erasure,
-            "standard_onion_success": result.standard_onion,
-        }
-        for result in results
+        {"d": d, "iterations": iterations, "batch_size": MICROBENCH_BATCH}
+        for d in (2, 3, 4, 5, 6, 8)
     ]
+
+
+def _microbench_run(params: dict, rng: np.random.Generator) -> dict:
+    d = params["d"]
+    iterations = params["iterations"]
+    batch_size = params["batch_size"]
+    coder = SliceCoder(d)
+    packet = bytes(rng.integers(0, 256, size=1500, dtype=np.uint8).tobytes())
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        blocks = coder.encode(packet, rng)
+    encode_seconds = (time.perf_counter() - start) / iterations
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        coder.decode(blocks)
+    decode_seconds = (time.perf_counter() - start) / iterations
+
+    # Batched-vs-loop comparison on a burst of equal-size packets.  Warm both
+    # paths so neither measurement pays first-call allocation costs, and take
+    # the per-rep minimum — the standard noise-robust microbenchmark
+    # estimator — so scheduler hiccups don't skew either side.
+    messages = [packet] * batch_size
+    loop_reps = max(iterations // 8, 5)
+    coder.encode(packet, rng)
+    coder.encode_batch(messages, rng)
+    loop_times = []
+    for _ in range(loop_reps):
+        start = time.perf_counter()
+        for message in messages:
+            coder.encode(message, rng)
+        loop_times.append(time.perf_counter() - start)
+    loop_seconds = min(loop_times)
+
+    batch_times = []
+    for _ in range(loop_reps):
+        start = time.perf_counter()
+        coder.encode_batch(messages, rng)
+        batch_times.append(time.perf_counter() - start)
+    batch_seconds = min(batch_times)
+
+    return {
+        "d": d,
+        "encode_us_per_packet": encode_seconds * 1e6,
+        "decode_us_per_packet": decode_seconds * 1e6,
+        "max_output_mbps": 1500 * 8 / max(encode_seconds, 1e-12) / 1e6,
+        "batch_encode_us_per_packet": batch_seconds / batch_size * 1e6,
+        "batch_speedup": loop_seconds / max(batch_seconds, 1e-12),
+    }
+
+
+register(
+    Experiment(
+        name="microbench",
+        title="§7.1 microbenchmark: coding cost per 1500-byte packet across d",
+        build_trials=_microbench_trials,
+        run_trial=_microbench_run,
+        deterministic=False,  # wall-clock timings; never serve from cache
+    )
+)
 
 
 def coding_microbenchmark(scale: float = 1.0) -> list[dict]:
     """§7.1 microbenchmark: coding cost per 1500-byte packet across d."""
-    import time
-
-    from ..core.coder import SliceCoder
-
-    rng = np.random.default_rng(3)
-    packet = bytes(rng.integers(0, 256, size=1500, dtype=np.uint8).tobytes())
-    iterations = max(int(50 * scale), 10)
-    rows = []
-    for d in (2, 3, 4, 5, 6, 8):
-        coder = SliceCoder(d)
-        start = time.perf_counter()
-        for _ in range(iterations):
-            blocks = coder.encode(packet, rng)
-        encode_seconds = (time.perf_counter() - start) / iterations
-        start = time.perf_counter()
-        for _ in range(iterations):
-            coder.decode(blocks)
-        decode_seconds = (time.perf_counter() - start) / iterations
-        rows.append(
-            {
-                "d": d,
-                "encode_us_per_packet": encode_seconds * 1e6,
-                "decode_us_per_packet": decode_seconds * 1e6,
-                "max_output_mbps": 1500 * 8 / max(encode_seconds, 1e-12) / 1e6,
-            }
-        )
-    return rows
+    return experiment_rows("microbench", scale=scale)
 
 
-#: Registry used by the command-line runner, the benchmarks and EXPERIMENTS.md.
+#: Backwards-compatible name → callable map (kept for tests and EXPERIMENTS.md).
 FIGURES = {
     "fig07": figure07_anonymity_vs_malicious,
     "fig08": figure08_anonymity_vs_split,

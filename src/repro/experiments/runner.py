@@ -1,0 +1,237 @@
+"""Parallel experiment runner: deterministic fan-out plus JSON artifacts.
+
+The runner turns a registered :class:`~repro.experiments.registry.Experiment`
+into rows:
+
+1. ``build_trials(scale)`` produces the trial list;
+2. the experiment's seed is expanded with ``np.random.SeedSequence.spawn``
+   into one child sequence per trial, so every trial's randomness is
+   independent of scheduling — running with 1 worker or 16 produces the
+   same stream for trial *i*;
+3. trials run inline (``workers=1``) or fan out over a
+   ``multiprocessing`` pool, and results are re-assembled in trial order;
+4. ``reduce`` folds them into rows, which are written as a canonical JSON
+   artifact (fixed separators, deterministic key order) under the output
+   directory and re-used as a cache on the next run.  For experiments whose
+   trials are pure functions of their RNG (everything except the wall-clock
+   timing experiments, which are marked ``deterministic=False`` and never
+   served from cache), the artifact is byte-identical for a given
+   ``(name, scale, seed)`` regardless of worker count.
+
+Worker processes receive only ``(experiment name, trial params, seed)``
+triples; they re-import the registry themselves, which keeps every payload
+picklable under both fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .registry import Experiment, get_experiment
+
+#: Where artifacts land unless the caller overrides it (the CLI's --out).
+DEFAULT_RESULTS_DIR = Path("results")
+
+#: Artifact schema version, bumped when the JSON layout changes.
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one experiment run (fresh or served from the artifact cache)."""
+
+    name: str
+    scale: float
+    seed: int
+    workers: int
+    rows: list[dict]
+    trial_count: int
+    artifact: Path | None
+    cached: bool
+    elapsed_seconds: float
+
+
+def run_experiment(
+    name: str,
+    scale: float = 1.0,
+    workers: int = 1,
+    seed: int | None = None,
+    out_dir: str | Path | None = None,
+    force: bool = False,
+) -> RunResult:
+    """Run (or load from cache) one registered experiment.
+
+    ``out_dir=None`` keeps everything in memory; passing a directory enables
+    both artifact writing and cache lookups.  ``force=True`` ignores an
+    existing artifact and recomputes.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    experiment = get_experiment(name)
+    seed = experiment.base_seed if seed is None else int(seed)
+    started = time.perf_counter()
+    trials = _jsonify(experiment.build_trials(scale))
+
+    artifact = None if out_dir is None else Path(out_dir) / f"{name}.json"
+    if artifact is not None and not force and experiment.deterministic:
+        cached = _load_cached_document(artifact, name, scale, seed, trials)
+        if cached is not None:
+            return RunResult(
+                name=name,
+                scale=scale,
+                seed=seed,
+                workers=workers,
+                rows=cached["rows"],
+                trial_count=len(cached["trials"]),
+                artifact=artifact,
+                cached=True,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+    results = _run_trials(experiment, trials, seed, workers)
+    rows = _jsonify(experiment.rows(trials, results))
+
+    if artifact is not None:
+        _write_artifact(artifact, experiment, scale, seed, trials, rows)
+    return RunResult(
+        name=name,
+        scale=scale,
+        seed=seed,
+        workers=workers,
+        rows=rows,
+        trial_count=len(trials),
+        artifact=artifact,
+        cached=False,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def experiment_rows(
+    name: str, scale: float = 1.0, seed: int | None = None, workers: int = 1
+) -> list[dict]:
+    """Convenience wrapper: run in memory and return only the rows."""
+    return run_experiment(name, scale=scale, workers=workers, seed=seed).rows
+
+
+# -- execution ---------------------------------------------------------------------
+
+
+def _run_trials(
+    experiment: Experiment, trials: list[dict], seed: int, workers: int
+) -> list[dict]:
+    children = np.random.SeedSequence(seed).spawn(len(trials))
+    payloads = [
+        (experiment.name, index, params, child)
+        for index, (params, child) in enumerate(zip(trials, children))
+    ]
+    workers = min(workers, len(payloads)) or 1
+    if workers == 1:
+        indexed = [_execute_trial(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=multiprocessing.get_context()
+        ) as pool:
+            indexed = list(pool.map(_execute_trial, payloads))
+    indexed.sort(key=lambda pair: pair[0])
+    return [result for _, result in indexed]
+
+
+def _execute_trial(
+    payload: tuple[str, int, dict, np.random.SeedSequence],
+) -> tuple[int, dict]:
+    """Run one trial; module-level so it pickles into worker processes."""
+    name, index, params, seed_sequence = payload
+    experiment = get_experiment(name)
+    rng = np.random.default_rng(seed_sequence)
+    return index, experiment.run_trial(params, rng)
+
+
+# -- artifacts ---------------------------------------------------------------------
+
+
+def _artifact_document(
+    experiment: Experiment, scale: float, seed: int, trials: list[dict], rows: list[dict]
+) -> dict:
+    return {
+        "version": ARTIFACT_VERSION,
+        "experiment": experiment.name,
+        "title": experiment.title,
+        "scale": scale,
+        "seed": seed,
+        "trials": trials,
+        "rows": rows,
+    }
+
+
+def serialise_artifact(document: dict) -> str:
+    """Canonical JSON: fixed separators and preserved insertion order, so equal
+    documents serialise to identical bytes no matter how they were computed.
+    Keys are *not* sorted: row key order is already deterministic for a given
+    (experiment, scale, seed), and preserving it keeps cached rows identical
+    in shape to freshly computed ones (column order in printed tables)."""
+    return json.dumps(document, indent=2, separators=(",", ": ")) + "\n"
+
+
+def _write_artifact(
+    artifact: Path,
+    experiment: Experiment,
+    scale: float,
+    seed: int,
+    trials: list[dict],
+    rows: list[dict],
+) -> None:
+    artifact.parent.mkdir(parents=True, exist_ok=True)
+    payload = serialise_artifact(
+        _artifact_document(experiment, scale, seed, trials, rows)
+    )
+    tmp = artifact.with_name(f".{artifact.name}.{os.getpid()}.tmp")
+    tmp.write_text(payload, encoding="utf-8")
+    tmp.replace(artifact)
+
+
+def _load_cached_document(
+    artifact: Path, name: str, scale: float, seed: int, trials: list[dict]
+) -> dict | None:
+    if not artifact.exists():
+        return None
+    try:
+        document = json.loads(artifact.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    matches = (
+        document.get("version") == ARTIFACT_VERSION
+        and document.get("experiment") == name
+        and document.get("scale") == scale
+        and document.get("seed") == seed
+        and isinstance(document.get("rows"), list)
+        # The stored trial list must match what the current experiment
+        # definition would run — an edited definition invalidates the cache.
+        and document.get("trials") == trials
+    )
+    return document if matches else None
+
+
+# -- JSON hygiene ------------------------------------------------------------------
+
+
+def _jsonify(value):
+    """Recursively convert numpy scalars/arrays into plain JSON-able Python."""
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonify(item) for item in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

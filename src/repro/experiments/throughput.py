@@ -82,8 +82,7 @@ def measure_slicing_throughput(
     substrate.sim.run()
     transfer_start = substrate.sim.now
     payload = bytes(message_bytes)
-    for _ in range(num_messages):
-        runtime.send_message(source, flow, payload)
+    runtime.send_messages(source, flow, [payload] * num_messages)
     substrate.sim.run()
     delivered = len(progress.delivered_messages)
     last = progress.last_delivery_at or transfer_start
@@ -256,8 +255,7 @@ def aggregate_throughput_vs_flows(
             flow = source.establish_flow(overlay_nodes, destinations[flow_index])
             progress = runtime.start_flow(source, flow)
             progresses.append(progress)
-            for _ in range(num_messages):
-                runtime.send_message(source, flow, payload)
+            runtime.send_messages(source, flow, [payload] * num_messages)
         substrate.sim.run()
         end = max(
             [p.last_delivery_at for p in progresses if p.last_delivery_at] or [start]

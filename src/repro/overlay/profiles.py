@@ -8,7 +8,7 @@ in DESIGN.md §2; the knobs below are the calibration points.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Tests for the anonymity metric, attacker model, analysis and Monte Carlo."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,7 +1,5 @@
 """Tests for the per-figure experiment harness (small-scale smoke + shape checks)."""
 
-import pytest
-
 from repro.experiments import (
     FIGURES,
     coding_microbenchmark,

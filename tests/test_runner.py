@@ -1,0 +1,136 @@
+"""Runner determinism, artifact caching and CLI coverage.
+
+The load-bearing guarantee: the same (experiment, scale, seed) produces
+byte-identical JSON artifacts no matter how many workers execute the trials.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.__main__ import main as experiments_main
+
+SMALL = 0.03
+
+
+def test_registry_contains_figures_and_ablations():
+    names = experiment_names()
+    for n in range(7, 18):
+        assert f"fig{n:02d}" in names
+    assert "microbench" in names
+    assert {"ablation_transforms", "ablation_as_selection", "ablation_network_coding"} <= set(names)
+
+
+def test_get_experiment_unknown_name():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("fig99")
+
+
+def test_worker_count_does_not_change_rows_or_artifact_bytes(tmp_path):
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+    serial = run_experiment("fig09", scale=SMALL, workers=1, out_dir=serial_dir)
+    parallel = run_experiment("fig09", scale=SMALL, workers=3, out_dir=parallel_dir)
+    assert serial.rows == parallel.rows
+    assert not serial.cached and not parallel.cached
+    assert (serial_dir / "fig09.json").read_bytes() == (
+        parallel_dir / "fig09.json"
+    ).read_bytes()
+
+
+def test_artifact_cache_hit_and_force(tmp_path):
+    first = run_experiment("fig16", scale=SMALL, out_dir=tmp_path)
+    assert not first.cached
+    second = run_experiment("fig16", scale=SMALL, out_dir=tmp_path)
+    assert second.cached
+    assert second.rows == first.rows
+    assert second.trial_count == first.trial_count
+    forced = run_experiment("fig16", scale=SMALL, out_dir=tmp_path, force=True)
+    assert not forced.cached
+    # A different scale or seed must miss the cache.
+    rescaled = run_experiment("fig16", scale=SMALL * 2, out_dir=tmp_path)
+    assert not rescaled.cached
+    reseeded = run_experiment("fig16", scale=SMALL * 2, seed=1, out_dir=tmp_path)
+    assert not reseeded.cached
+
+
+def test_cache_invalidated_when_trial_list_changes(tmp_path):
+    run_experiment("fig16", scale=SMALL, out_dir=tmp_path)
+    artifact = tmp_path / "fig16.json"
+    document = json.loads(artifact.read_text())
+    # Simulate an edited experiment definition: the stored trial list no
+    # longer matches what build_trials(scale) produces today.
+    document["trials"][0]["d_prime"] = 99
+    artifact.write_text(json.dumps(document))
+    rerun = run_experiment("fig16", scale=SMALL, out_dir=tmp_path)
+    assert not rerun.cached
+
+
+def test_wall_clock_experiments_never_served_from_cache(tmp_path):
+    first = run_experiment("microbench", scale=0.2, out_dir=tmp_path)
+    assert not first.cached
+    second = run_experiment("microbench", scale=0.2, out_dir=tmp_path)
+    assert not second.cached  # deterministic=False: timings always remeasured
+
+
+def test_seed_changes_monte_carlo_results():
+    default = run_experiment("fig09", scale=SMALL)
+    reseeded = run_experiment("fig09", scale=SMALL, seed=99)
+    assert default.rows != reseeded.rows
+    # but the same seed reproduces exactly
+    again = run_experiment("fig09", scale=SMALL, seed=99)
+    assert reseeded.rows == again.rows
+
+
+def test_artifact_document_shape(tmp_path):
+    result = run_experiment("fig16", scale=SMALL, out_dir=tmp_path)
+    document = json.loads((tmp_path / "fig16.json").read_text())
+    assert document["experiment"] == "fig16"
+    assert document["scale"] == SMALL
+    assert document["seed"] == result.seed
+    assert document["rows"] == result.rows
+    assert len(document["trials"]) == result.trial_count
+
+
+def test_rows_are_plain_json_types():
+    rows = run_experiment("fig16", scale=SMALL).rows
+    json.dumps(rows)  # would raise on numpy scalars
+    assert all(isinstance(row, dict) for row in rows)
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError, match="scale"):
+        run_experiment("fig16", scale=0.0)
+    with pytest.raises(ValueError, match="workers"):
+        run_experiment("fig16", scale=SMALL, workers=0)
+
+
+def test_cli_run_subcommand(tmp_path, capsys):
+    out = tmp_path / "results"
+    code = experiments_main(
+        ["run", "fig16", "--scale", str(SMALL), "--out", str(out), "--workers", "2"]
+    )
+    assert code == 0
+    assert (out / "fig16.json").exists()
+    output = capsys.readouterr().out
+    assert "fig16" in output
+    assert "information_slicing_success" in output
+    # Second invocation hits the artifact cache.
+    assert experiments_main(["run", "fig16", "--scale", str(SMALL), "--out", str(out)]) == 0
+    assert "cached" in capsys.readouterr().out
+
+
+def test_cli_run_unknown_experiment(capsys):
+    assert experiments_main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_cli_list(capsys):
+    assert experiments_main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "fig09" in output and "ablation_transforms" in output

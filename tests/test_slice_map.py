@@ -1,7 +1,6 @@
 """Flow-plan compiler tests: slice-maps and data-maps must be consistent."""
 
 import numpy as np
-import pytest
 
 from repro.core.graph import build_forwarding_graph
 from repro.core.slice_map import compile_flow_plan
