@@ -2,8 +2,9 @@
 compared against Chaum mixes (N=10000, L=8, d=3).
 
 Regenerates the figure's series through the experiment runner
-(``run_experiment("fig07")``) and prints the rows the paper plots.  See
-EXPERIMENTS.md for paper-vs-measured.
+(``run_experiment("fig07")``), with each Monte-Carlo chunk evaluated by the
+vectorised engine (``simulate_anonymity_batch``), and prints the rows the
+paper plots.  See docs/anonymity-math.md for the underlying model.
 """
 
 from repro.experiments import format_table

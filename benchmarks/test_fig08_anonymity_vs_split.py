@@ -1,8 +1,9 @@
 """Fig. 8: anonymity vs. the split factor d for f=0.1 and f=0.4.
 
 Regenerates the figure's series through the experiment runner
-(``run_experiment("fig08")``) and prints the rows the paper plots.  See
-EXPERIMENTS.md for paper-vs-measured.
+(``run_experiment("fig08")``) and prints the rows the paper plots.
+Each Monte-Carlo chunk is evaluated by the vectorised engine
+(``simulate_anonymity_batch``); see docs/anonymity-math.md for the model.
 """
 
 from repro.experiments import format_table

@@ -1,8 +1,9 @@
 """Fig. 9: anonymity vs. path length L (d=3, f=0.1); both curves rise with L.
 
 Regenerates the figure's series through the experiment runner
-(``run_experiment("fig09")``) and prints the rows the paper plots.  See
-EXPERIMENTS.md for paper-vs-measured.
+(``run_experiment("fig09")``) and prints the rows the paper plots.
+Each Monte-Carlo chunk is evaluated by the vectorised engine
+(``simulate_anonymity_batch``); see docs/anonymity-math.md for the model.
 """
 
 from repro.experiments import format_table

@@ -2,8 +2,9 @@
 anonymity decreases as redundancy grows.
 
 Regenerates the figure's series through the experiment runner
-(``run_experiment("fig10")``) and prints the rows the paper plots.  See
-EXPERIMENTS.md for paper-vs-measured.
+(``run_experiment("fig10")``) and prints the rows the paper plots.
+Each Monte-Carlo chunk is evaluated by the vectorised engine
+(``simulate_anonymity_batch``); see docs/anonymity-math.md for the model.
 """
 
 from repro.experiments import format_table

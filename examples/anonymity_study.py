@@ -7,7 +7,7 @@ colluding nodes), and prints the resulting operating points.
 Run with:  python examples/anonymity_study.py
 """
 
-from repro.anonymity import simulate_anonymity
+from repro.anonymity import simulate_anonymity_batch
 from repro.experiments import format_table
 
 
@@ -17,7 +17,7 @@ def main() -> None:
     rows = []
     for fraction in (0.05, 0.1, 0.2, 0.4):
         for path_length, d in ((5, 2), (8, 3), (12, 3)):
-            result = simulate_anonymity(
+            result = simulate_anonymity_batch(
                 num_nodes=10_000,
                 path_length=path_length,
                 d=d,

@@ -7,7 +7,14 @@ from .analysis import (
     redundancy_overhead,
     source_case1_probability,
 )
-from .attacker import AttackerView, StageLayout, sample_stage_layout
+from .attacker import (
+    AttackerView,
+    AttackerViewBatch,
+    StageLayout,
+    StageLayoutBatch,
+    sample_stage_layout,
+    sample_stage_layout_batch,
+)
 from .metrics import (
     degree_of_anonymity,
     entropy,
@@ -17,9 +24,13 @@ from .metrics import (
 )
 from .simulation import (
     AnonymityResult,
+    AnonymityTrialValues,
     destination_anonymity_for_view,
     simulate_anonymity,
+    simulate_anonymity_batch,
+    simulate_anonymity_trials,
     source_anonymity_for_view,
+    sweep_anonymity,
     sweep_malicious_fraction,
     sweep_path_length,
     sweep_redundancy,
@@ -33,12 +44,19 @@ __all__ = [
     "two_level_anonymity",
     "information_bits_missing",
     "StageLayout",
+    "StageLayoutBatch",
     "AttackerView",
+    "AttackerViewBatch",
     "sample_stage_layout",
+    "sample_stage_layout_batch",
     "AnonymityResult",
+    "AnonymityTrialValues",
     "simulate_anonymity",
+    "simulate_anonymity_batch",
+    "simulate_anonymity_trials",
     "source_anonymity_for_view",
     "destination_anonymity_for_view",
+    "sweep_anonymity",
     "sweep_malicious_fraction",
     "sweep_split_factor",
     "sweep_path_length",

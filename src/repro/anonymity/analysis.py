@@ -29,6 +29,11 @@ def source_case1_probability(
     Without redundancy this is ``f^d`` (all of stage 1 malicious).  With
     redundancy ``d' > d`` the attacker needs only ``d`` of the ``d'`` relays
     in stage 1 (Appendix A.3).
+
+    >>> round(source_case1_probability(0.2, 3), 6)
+    0.008
+    >>> source_case1_probability(0.2, 3, 5) > source_case1_probability(0.2, 3)
+    True
     """
     d_prime = d if d_prime is None else d_prime
     return sum(
@@ -112,7 +117,13 @@ def expected_destination_anonymity(
 
 
 def redundancy_overhead(d: int, d_prime: int) -> float:
-    """Added redundancy R = (d' - d)/d (§4.4, §8.1)."""
+    """Added redundancy R = (d' - d)/d (§4.4, §8.1).
+
+    >>> redundancy_overhead(3, 6)
+    1.0
+    >>> redundancy_overhead(2, 2)
+    0.0
+    """
     if d < 1:
         raise ValueError("d must be >= 1")
     return (d_prime - d) / d

@@ -27,7 +27,13 @@ class MetricError(ReproError):
 
 
 def entropy(probabilities: Iterable[float]) -> float:
-    """Shannon entropy (natural units cancel in the normalised metric; we use bits)."""
+    """Shannon entropy (natural units cancel in the normalised metric; we use bits).
+
+    >>> entropy([0.25, 0.25, 0.25, 0.25])
+    2.0
+    >>> entropy([1.0, 0.0])
+    0.0
+    """
     probs = np.asarray(list(probabilities), dtype=float)
     if probs.size == 0:
         raise MetricError("cannot compute the entropy of an empty distribution")
@@ -38,22 +44,34 @@ def entropy(probabilities: Iterable[float]) -> float:
         raise MetricError("probabilities must sum to a positive value")
     probs = probs / total
     nonzero = probs[probs > 0]
-    return float(-(nonzero * np.log2(nonzero)).sum())
+    # ``+ 0.0`` normalises the -0.0 of a deterministic distribution.
+    return float(-(nonzero * np.log2(nonzero)).sum() + 0.0)
 
 
 def max_entropy(num_candidates: int) -> float:
-    """The entropy of the uniform distribution over ``num_candidates`` nodes."""
+    """The entropy of the uniform distribution over ``num_candidates`` nodes.
+
+    >>> max_entropy(8)
+    3.0
+    """
     if num_candidates < 1:
         raise MetricError("need at least one candidate node")
     return math.log2(num_candidates)
 
 
 def degree_of_anonymity(probabilities: Iterable[float], num_candidates: int) -> float:
-    """Normalised anonymity ``H(x) / log(N)`` (Eq. 5), clamped to [0, 1]."""
+    """Normalised anonymity ``H(x) / log(N)`` (Eq. 5), clamped to [0, 1].
+
+    >>> degree_of_anonymity([1 / 16] * 16, 16)
+    1.0
+    >>> degree_of_anonymity([1.0], 16)
+    0.0
+    """
     if num_candidates <= 1:
         return 0.0
     value = entropy(probabilities) / max_entropy(num_candidates)
-    return float(min(max(value, 0.0), 1.0))
+    # ``+ 0.0`` normalises the -0.0 that a zero-entropy distribution produces.
+    return float(min(max(value, 0.0), 1.0) + 0.0)
 
 
 def two_level_anonymity(
@@ -89,5 +107,8 @@ def information_bits_missing(anonymity: float, total_nodes: int) -> float:
 
     An anonymity of 0.5 over 10 000 nodes means the attacker is missing about
     6.6 bits — the paper's "still missing half the information" observation.
+
+    >>> information_bits_missing(0.5, 1024)
+    5.0
     """
     return anonymity * max_entropy(total_nodes)

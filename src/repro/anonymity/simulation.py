@@ -6,15 +6,46 @@ apply the probability assignments of Appendix A to compute source and
 destination anonymity via the entropy metric (Eq. 5).  The reported value is
 the average over many trials, exactly as in the paper (1000 trials per data
 point).
+
+Two engines implement the evaluation:
+
+* :func:`simulate_anonymity` — the scalar *reference* implementation: one
+  :class:`~repro.anonymity.attacker.StageLayout` and
+  :class:`~repro.anonymity.attacker.AttackerView` per trial, evaluated with
+  plain Python.  Kept deliberately close to the appendix's prose.
+* :func:`simulate_anonymity_batch` — the vectorised engine behind Figs. 7-10:
+  all trials are sampled as one ``(trials, L, d')`` boolean array, and the
+  exposed-stage masks, longest consecutive-exposed runs and Case-1
+  decodability come out of batched numpy kernels with no per-trial Python
+  objects.  The Appendix-A entropy assignment depends only on the longest
+  chain length ``s`` once the parameter point is fixed, so it is evaluated
+  once per distinct ``s`` (at most ``L + 2`` values) and gathered per trial.
+
+Both engines draw randomness through
+:func:`~repro.anonymity.attacker.sample_stage_layout_batch`, so the same seed
+yields bit-identical per-trial anonymity values from either — asserted in
+``tests/test_anonymity_batch.py`` and checked again inside the ``anonbench``
+experiment.
+
+The four figure sweeps (malicious fraction, split factor, path length,
+redundancy) are thin declarative wrappers over the shared
+:func:`sweep_anonymity` driver.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
-from .attacker import AttackerView, sample_stage_layout
+from .attacker import (
+    AttackerView,
+    AttackerViewBatch,
+    StageLayoutBatch,
+    sample_stage_layout_batch,
+)
 from .metrics import two_level_anonymity
 
 
@@ -29,52 +60,211 @@ class AnonymityResult:
     destination_case1_rate: float
 
 
+@dataclass(frozen=True)
+class AnonymityTrialValues:
+    """Per-trial outcomes of one Monte-Carlo run, before averaging.
+
+    Exposing the raw per-trial arrays is what lets the test suite assert
+    *exact* statistical equivalence between the scalar and batched engines:
+    same seed in, same array of per-trial anonymity values out.
+    """
+
+    source_anonymity: np.ndarray
+    destination_anonymity: np.ndarray
+    source_case1: np.ndarray
+    destination_case1: np.ndarray
+
+    @property
+    def trials(self) -> int:
+        return int(self.source_anonymity.size)
+
+    def result(self) -> AnonymityResult:
+        """Reduce the per-trial values to the averages the paper plots."""
+        return AnonymityResult(
+            source_anonymity=float(self.source_anonymity.mean()),
+            destination_anonymity=float(self.destination_anonymity.mean()),
+            trials=self.trials,
+            source_case1_rate=float(self.source_case1.mean()),
+            destination_case1_rate=float(self.destination_case1.mean()),
+        )
+
+
+def _validate_trials(trials: int) -> None:
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+
+
+# -- Appendix-A probability assignments as functions of the chain length ---------
+
+
+def _source_anonymity_from_chain(
+    s: int, num_nodes: int, path_length: int, d_prime: int, fraction_malicious: float
+) -> float:
+    """Source anonymity given the longest exposed chain ``s`` (Appendix A.1).
+
+    The attacker's best guess for the source stage is the first stage of its
+    longest exposed chain (Eq. 8): the chain of s exposed stages can start at
+    any of (L + 1) - s + 1 positions among the L + 1 stages, so the first
+    exposed stage is the source stage with probability 1/(L - s + 2), shared
+    equally among its d' candidate nodes.
+    """
+    if s <= 0:
+        clean = max(int(num_nodes * (1.0 - fraction_malicious)), 1)
+        return two_level_anonymity(0, 0.0, clean, 1.0 / clean, num_nodes)
+    denominator = max(path_length - s + 2, 2)
+    gamma_mass = 1.0 / denominator
+    p_gamma = gamma_mass / d_prime
+    others = max(int(num_nodes * (1.0 - fraction_malicious)) - d_prime, 1)
+    p_other = max(1.0 - gamma_mass, 0.0) / others
+    return two_level_anonymity(d_prime, p_gamma, others, p_other, num_nodes)
+
+
+def _destination_anonymity_from_chain(
+    s: int, num_nodes: int, path_length: int, d_prime: int, fraction_malicious: float
+) -> float:
+    """Destination anonymity given the longest exposed chain ``s`` (Appendix A.2)."""
+    if s <= 0:
+        clean = max(int(num_nodes * (1.0 - fraction_malicious)), 1)
+        return two_level_anonymity(0, 0.0, clean, 1.0 / clean, num_nodes)
+    s = min(s, path_length)
+    suspects = max(int(s * d_prime * (1.0 - fraction_malicious)), 1)
+    p_suspect = 1.0 / (path_length * d_prime * (1.0 - fraction_malicious))
+    others = max(int((num_nodes - s * d_prime) * (1.0 - fraction_malicious)), 1)
+    p_other = max(1.0 - s / path_length, 0.0) / others
+    return two_level_anonymity(suspects, p_suspect, others, p_other, num_nodes)
+
+
 def source_anonymity_for_view(
     view: AttackerView, num_nodes: int, fraction_malicious: float
 ) -> float:
     """Source anonymity of one graph instance (Appendix A.1)."""
-    layout = view.layout
     if view.first_stage_decodable:
         return 0.0
-    s = view.longest_chain_length
-    path_length = layout.path_length
-    if s <= 0:
-        clean = max(int(num_nodes * (1.0 - fraction_malicious)), 1)
-        return two_level_anonymity(0, 0.0, clean, 1.0 / clean, num_nodes)
-    # The attacker's best guess for the source stage is the first stage of its
-    # longest exposed chain (Eq. 8): the chain of s exposed stages can start
-    # at any of (L + 1) - s + 1 positions among the L + 1 stages, so the first
-    # exposed stage is the source stage with probability 1/(L - s + 2), shared
-    # equally among its d' candidate nodes.
-    denominator = max(path_length - s + 2, 2)
-    gamma_mass = 1.0 / denominator
-    gamma_size = layout.d_prime
-    p_gamma = gamma_mass / gamma_size
-    others = max(int(num_nodes * (1.0 - fraction_malicious)) - gamma_size, 1)
-    p_other = max(1.0 - gamma_mass, 0.0) / others
-    return two_level_anonymity(gamma_size, p_gamma, others, p_other, num_nodes)
+    layout = view.layout
+    return _source_anonymity_from_chain(
+        view.longest_chain_length,
+        num_nodes,
+        layout.path_length,
+        layout.d_prime,
+        fraction_malicious,
+    )
 
 
 def destination_anonymity_for_view(
     view: AttackerView, num_nodes: int, fraction_malicious: float
 ) -> float:
     """Destination anonymity of one graph instance (Appendix A.2)."""
-    layout = view.layout
     if view.decodable_stage_before_destination:
         return 0.0
-    s = view.longest_chain_length
-    path_length = layout.path_length
-    if s <= 0:
-        clean = max(int(num_nodes * (1.0 - fraction_malicious)), 1)
-        return two_level_anonymity(0, 0.0, clean, 1.0 / clean, num_nodes)
-    s = min(s, path_length)
-    suspects = max(int(s * layout.d_prime * (1.0 - fraction_malicious)), 1)
-    p_suspect = 1.0 / (path_length * layout.d_prime * (1.0 - fraction_malicious))
-    others = max(
-        int((num_nodes - s * layout.d_prime) * (1.0 - fraction_malicious)), 1
+    layout = view.layout
+    return _destination_anonymity_from_chain(
+        view.longest_chain_length,
+        num_nodes,
+        layout.path_length,
+        layout.d_prime,
+        fraction_malicious,
     )
-    p_other = max(1.0 - s / path_length, 0.0) / others
-    return two_level_anonymity(suspects, p_suspect, others, p_other, num_nodes)
+
+
+# -- engines ---------------------------------------------------------------------
+
+
+def _scalar_trial_values(
+    layouts: StageLayoutBatch, num_nodes: int, fraction_malicious: float
+) -> AnonymityTrialValues:
+    """Reference engine: per-trial Python objects, exactly as the appendix reads."""
+    trials = layouts.trials
+    source = np.empty(trials, dtype=float)
+    destination = np.empty(trials, dtype=float)
+    source_case1 = np.empty(trials, dtype=bool)
+    destination_case1 = np.empty(trials, dtype=bool)
+    for trial in range(trials):
+        view = AttackerView.from_layout(layouts.layout(trial))
+        source_case1[trial] = view.first_stage_decodable
+        destination_case1[trial] = view.decodable_stage_before_destination
+        source[trial] = source_anonymity_for_view(view, num_nodes, fraction_malicious)
+        destination[trial] = destination_anonymity_for_view(
+            view, num_nodes, fraction_malicious
+        )
+    return AnonymityTrialValues(source, destination, source_case1, destination_case1)
+
+
+def _batched_trial_values(
+    layouts: StageLayoutBatch, num_nodes: int, fraction_malicious: float
+) -> AnonymityTrialValues:
+    """Vectorised engine: numpy kernels over the whole trial stack at once."""
+    views = AttackerViewBatch.from_layouts(layouts)
+    path_length = layouts.path_length
+    d_prime = layouts.d_prime
+    # For a fixed parameter point the Appendix-A assignment is a pure function
+    # of the longest exposed chain length s in {0, ..., L + 1}, so tabulating
+    # it once and gathering per trial is exact — and avoids any per-trial
+    # Python or large transcendental arrays.
+    chain_lengths = np.arange(path_length + 2)
+    source_table = np.array(
+        [
+            _source_anonymity_from_chain(
+                int(s), num_nodes, path_length, d_prime, fraction_malicious
+            )
+            for s in chain_lengths
+        ]
+    )
+    destination_table = np.array(
+        [
+            _destination_anonymity_from_chain(
+                int(s), num_nodes, path_length, d_prime, fraction_malicious
+            )
+            for s in chain_lengths
+        ]
+    )
+    s = views.longest_chain_length
+    source = np.where(views.first_stage_decodable, 0.0, source_table[s])
+    destination = np.where(
+        views.decodable_stage_before_destination, 0.0, destination_table[s]
+    )
+    return AnonymityTrialValues(
+        source_anonymity=source,
+        destination_anonymity=destination,
+        source_case1=views.first_stage_decodable.copy(),
+        destination_case1=views.decodable_stage_before_destination.copy(),
+    )
+
+
+_ENGINES = {"scalar": _scalar_trial_values, "batched": _batched_trial_values}
+
+
+def simulate_anonymity_trials(
+    num_nodes: int,
+    path_length: int,
+    d: int,
+    fraction_malicious: float,
+    trials: int = 1000,
+    rng: np.random.Generator | None = None,
+    d_prime: int | None = None,
+    engine: str = "batched",
+) -> AnonymityTrialValues:
+    """Run one parameter point and return the raw per-trial values.
+
+    ``engine`` selects ``"batched"`` (vectorised numpy, the default) or
+    ``"scalar"`` (the per-trial reference loop).  Both consume randomness
+    identically, so equal seeds give bit-identical per-trial values.
+    """
+    _validate_trials(trials)
+    try:
+        evaluate = _ENGINES[engine]
+    except KeyError:
+        known = ", ".join(sorted(_ENGINES))
+        raise ValueError(f"unknown engine {engine!r} (known: {known})") from None
+    rng = np.random.default_rng() if rng is None else rng
+    layouts = sample_stage_layout_batch(
+        trials=trials,
+        path_length=path_length,
+        d=d,
+        fraction_malicious=fraction_malicious,
+        rng=rng,
+        d_prime=d_prime,
+    )
+    return evaluate(layouts, num_nodes, fraction_malicious)
 
 
 def simulate_anonymity(
@@ -90,36 +280,74 @@ def simulate_anonymity(
 
     Parameters mirror Table 1: ``num_nodes`` is N, ``path_length`` is L,
     ``d`` the split factor, ``fraction_malicious`` is f, and ``d_prime``
-    enables the redundancy study of Fig. 10.
+    enables the redundancy study of Fig. 10.  This is the scalar reference
+    implementation; :func:`simulate_anonymity_batch` computes the identical
+    values vectorised.
     """
-    rng = np.random.default_rng() if rng is None else rng
-    d_prime = d if d_prime is None else d_prime
-    src_total = 0.0
-    dst_total = 0.0
-    src_case1 = 0
-    dst_case1 = 0
-    for _ in range(trials):
-        layout = sample_stage_layout(
-            path_length=path_length,
-            d=d,
-            fraction_malicious=fraction_malicious,
-            rng=rng,
-            d_prime=d_prime,
-        )
-        view = AttackerView.from_layout(layout)
-        src_case1 += int(view.first_stage_decodable)
-        dst_case1 += int(view.decodable_stage_before_destination)
-        src_total += source_anonymity_for_view(view, num_nodes, fraction_malicious)
-        dst_total += destination_anonymity_for_view(
-            view, num_nodes, fraction_malicious
-        )
-    return AnonymityResult(
-        source_anonymity=src_total / trials,
-        destination_anonymity=dst_total / trials,
-        trials=trials,
-        source_case1_rate=src_case1 / trials,
-        destination_case1_rate=dst_case1 / trials,
-    )
+    return simulate_anonymity_trials(
+        num_nodes,
+        path_length,
+        d,
+        fraction_malicious,
+        trials,
+        rng,
+        d_prime,
+        engine="scalar",
+    ).result()
+
+
+def simulate_anonymity_batch(
+    num_nodes: int,
+    path_length: int,
+    d: int,
+    fraction_malicious: float,
+    trials: int = 1000,
+    rng: np.random.Generator | None = None,
+    d_prime: int | None = None,
+) -> AnonymityResult:
+    """Vectorised twin of :func:`simulate_anonymity` (same seed, same values).
+
+    All trials are evaluated as numpy arrays in one pass; at the paper's 1000
+    trials per point this is well over an order of magnitude faster than the
+    scalar loop (asserted by the ``anonbench`` experiment).
+    """
+    return simulate_anonymity_trials(
+        num_nodes,
+        path_length,
+        d,
+        fraction_malicious,
+        trials,
+        rng,
+        d_prime,
+        engine="batched",
+    ).result()
+
+
+# -- sweeps ----------------------------------------------------------------------
+
+
+def sweep_anonymity(
+    points: list[tuple[Any, dict]],
+    trials: int = 1000,
+    seed: int = 0,
+    simulate: Callable[..., AnonymityResult] = simulate_anonymity_batch,
+) -> list[tuple[Any, AnonymityResult]]:
+    """Shared driver behind the Fig. 7-10 sweeps.
+
+    ``points`` is a list of ``(key, kwargs)`` pairs: ``key`` is the x-axis
+    value reported back, ``kwargs`` the :func:`simulate_anonymity_batch`
+    parameters of that point.  Each point gets its own deterministic
+    generator (``seed + index``), matching the historical behaviour of the
+    individual sweep loops this driver replaced.  ``simulate`` defaults to
+    the batched engine; pass :func:`simulate_anonymity` to force the scalar
+    reference path.
+    """
+    _validate_trials(trials)
+    results = []
+    for index, (key, kwargs) in enumerate(points):
+        rng = np.random.default_rng(seed + index)
+        results.append((key, simulate(trials=trials, rng=rng, **kwargs)))
+    return results
 
 
 def sweep_malicious_fraction(
@@ -132,18 +360,20 @@ def sweep_malicious_fraction(
     d_prime: int | None = None,
 ) -> list[tuple[float, AnonymityResult]]:
     """Fig. 7 sweep: anonymity as a function of the malicious fraction."""
-    results = []
-    for index, fraction in enumerate(fractions):
-        rng = np.random.default_rng(seed + index)
-        results.append(
-            (
-                fraction,
-                simulate_anonymity(
-                    num_nodes, path_length, d, fraction, trials, rng, d_prime
-                ),
-            )
+    points = [
+        (
+            fraction,
+            {
+                "num_nodes": num_nodes,
+                "path_length": path_length,
+                "d": d,
+                "fraction_malicious": fraction,
+                "d_prime": d_prime,
+            },
         )
-    return results
+        for fraction in fractions
+    ]
+    return sweep_anonymity(points, trials=trials, seed=seed)
 
 
 def sweep_split_factor(
@@ -155,18 +385,19 @@ def sweep_split_factor(
     seed: int = 2,
 ) -> list[tuple[int, AnonymityResult]]:
     """Fig. 8 sweep: anonymity as a function of the split factor d."""
-    results = []
-    for index, d in enumerate(split_factors):
-        rng = np.random.default_rng(seed + index)
-        results.append(
-            (
-                d,
-                simulate_anonymity(
-                    num_nodes, path_length, d, fraction_malicious, trials, rng
-                ),
-            )
+    points = [
+        (
+            d,
+            {
+                "num_nodes": num_nodes,
+                "path_length": path_length,
+                "d": d,
+                "fraction_malicious": fraction_malicious,
+            },
         )
-    return results
+        for d in split_factors
+    ]
+    return sweep_anonymity(points, trials=trials, seed=seed)
 
 
 def sweep_path_length(
@@ -178,18 +409,19 @@ def sweep_path_length(
     seed: int = 3,
 ) -> list[tuple[int, AnonymityResult]]:
     """Fig. 9 sweep: anonymity as a function of the path length L."""
-    results = []
-    for index, path_length in enumerate(path_lengths):
-        rng = np.random.default_rng(seed + index)
-        results.append(
-            (
-                path_length,
-                simulate_anonymity(
-                    num_nodes, path_length, d, fraction_malicious, trials, rng
-                ),
-            )
+    points = [
+        (
+            path_length,
+            {
+                "num_nodes": num_nodes,
+                "path_length": path_length,
+                "d": d,
+                "fraction_malicious": fraction_malicious,
+            },
         )
-    return results
+        for path_length in path_lengths
+    ]
+    return sweep_anonymity(points, trials=trials, seed=seed)
 
 
 def sweep_redundancy(
@@ -202,22 +434,17 @@ def sweep_redundancy(
     seed: int = 4,
 ) -> list[tuple[float, AnonymityResult]]:
     """Fig. 10 sweep: anonymity as a function of added redundancy (d'-d)/d."""
-    results = []
-    for index, d_prime in enumerate(d_primes):
-        rng = np.random.default_rng(seed + index)
-        redundancy = (d_prime - d) / d
-        results.append(
-            (
-                redundancy,
-                simulate_anonymity(
-                    num_nodes,
-                    path_length,
-                    d,
-                    fraction_malicious,
-                    trials,
-                    rng,
-                    d_prime=d_prime,
-                ),
-            )
+    points = [
+        (
+            (d_prime - d) / d,
+            {
+                "num_nodes": num_nodes,
+                "path_length": path_length,
+                "d": d,
+                "fraction_malicious": fraction_malicious,
+                "d_prime": d_prime,
+            },
         )
-    return results
+        for d_prime in d_primes
+    ]
+    return sweep_anonymity(points, trials=trials, seed=seed)

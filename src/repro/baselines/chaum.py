@@ -56,6 +56,8 @@ def simulate_chaum_anonymity(
     rng: np.random.Generator | None = None,
 ) -> ChaumAnonymityResult:
     """Monte-Carlo anonymity of a Chaum-mix chain of ``path_length`` relays."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
     rng = np.random.default_rng() if rng is None else rng
     src_total = 0.0
     dst_total = 0.0

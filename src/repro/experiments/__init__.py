@@ -7,6 +7,7 @@ from .ablations import (
 )
 from .figures import (
     FIGURES,
+    anonymity_microbenchmark,
     coding_microbenchmark,
     figure07_anonymity_vs_malicious,
     figure08_anonymity_vs_split,
@@ -58,6 +59,7 @@ __all__ = [
     "figure16_resilience_analysis",
     "figure17_churn_resilience",
     "coding_microbenchmark",
+    "anonymity_microbenchmark",
     "measure_slicing_throughput",
     "measure_onion_throughput",
     "throughput_vs_path_length",

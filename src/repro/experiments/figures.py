@@ -19,7 +19,11 @@ import time
 
 import numpy as np
 
-from ..anonymity.simulation import simulate_anonymity
+from ..anonymity.simulation import (
+    simulate_anonymity,
+    simulate_anonymity_batch,
+    simulate_anonymity_trials,
+)
 from ..baselines.chaum import simulate_chaum_anonymity
 from ..core.coder import SliceCoder
 from ..overlay.churn import PLANETLAB_CHURN
@@ -69,7 +73,7 @@ def _fig07_trials(scale: float) -> list[dict]:
 def _fig07_run(params: dict, rng: np.random.Generator) -> dict:
     fraction = params["fraction_malicious"]
     trials = params["trials"]
-    slicing = simulate_anonymity(
+    slicing = simulate_anonymity_batch(
         DEFAULT_N, path_length=8, d=3, fraction_malicious=fraction, trials=trials, rng=rng
     )
     chaum = simulate_chaum_anonymity(
@@ -120,7 +124,7 @@ def _fig08_trials(scale: float) -> list[dict]:
 
 
 def _fig08_run(params: dict, rng: np.random.Generator) -> dict:
-    result = simulate_anonymity(
+    result = simulate_anonymity_batch(
         DEFAULT_N,
         path_length=8,
         d=params["split_factor"],
@@ -179,7 +183,7 @@ def _fig09_trials(scale: float) -> list[dict]:
 
 
 def _fig09_run(params: dict, rng: np.random.Generator) -> dict:
-    result = simulate_anonymity(
+    result = simulate_anonymity_batch(
         DEFAULT_N,
         path_length=params["path_length"],
         d=3,
@@ -230,7 +234,7 @@ def _fig10_trials(scale: float) -> list[dict]:
 
 def _fig10_run(params: dict, rng: np.random.Generator) -> dict:
     d_prime = params["d_prime"]
-    result = simulate_anonymity(
+    result = simulate_anonymity_batch(
         DEFAULT_N,
         path_length=8,
         d=_FIG10_D,
@@ -626,7 +630,97 @@ def coding_microbenchmark(scale: float = 1.0) -> list[dict]:
     return experiment_rows("microbench", scale=scale)
 
 
-#: Backwards-compatible name → callable map (kept for tests and EXPERIMENTS.md).
+# -- §6.2 anonymity Monte-Carlo microbenchmark -----------------------------------
+
+#: Trial count the batched-vs-scalar anonymity comparison runs at (the
+#: acceptance target: ``simulate_anonymity_batch`` must beat the scalar
+#: reference loop by >= 10x at the paper's 1000 trials per data point).
+ANONBENCH_TRIALS = 1000
+
+
+def _anonbench_trials(scale: float) -> list[dict]:
+    reps = max(int(5 * scale), 1)
+    return [
+        {"fraction_malicious": f, "trials": ANONBENCH_TRIALS, "reps": reps}
+        for f in (0.1, 0.4)
+    ]
+
+
+def _anonbench_run(params: dict, rng: np.random.Generator) -> dict:
+    fraction = params["fraction_malicious"]
+    trials = params["trials"]
+    reps = params["reps"]
+    seed = spawn_seed(rng)
+    kwargs = dict(
+        num_nodes=DEFAULT_N,
+        path_length=8,
+        d=3,
+        fraction_malicious=fraction,
+        trials=trials,
+    )
+
+    # Warm both engines and verify the vectorised path reproduces the scalar
+    # reference bit-for-bit on this parameter point before timing anything.
+    scalar_values = simulate_anonymity_trials(
+        **kwargs, rng=np.random.default_rng(seed), engine="scalar"
+    )
+    batched_values = simulate_anonymity_trials(
+        **kwargs, rng=np.random.default_rng(seed), engine="batched"
+    )
+    identical = bool(
+        np.array_equal(scalar_values.source_anonymity, batched_values.source_anonymity)
+        and np.array_equal(
+            scalar_values.destination_anonymity, batched_values.destination_anonymity
+        )
+        and np.array_equal(scalar_values.source_case1, batched_values.source_case1)
+        and np.array_equal(
+            scalar_values.destination_case1, batched_values.destination_case1
+        )
+    )
+
+    # Same noise-robust estimator as the coding microbenchmark: identical
+    # seeds on both sides, per-rep minimum.
+    scalar_times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        simulate_anonymity(**kwargs, rng=np.random.default_rng(seed))
+        scalar_times.append(time.perf_counter() - start)
+    scalar_seconds = min(scalar_times)
+
+    batched_times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        simulate_anonymity_batch(**kwargs, rng=np.random.default_rng(seed))
+        batched_times.append(time.perf_counter() - start)
+    batched_seconds = min(batched_times)
+
+    return {
+        "fraction_malicious": fraction,
+        "trials": trials,
+        "scalar_ms": scalar_seconds * 1e3,
+        "batched_ms": batched_seconds * 1e3,
+        "speedup": scalar_seconds / max(batched_seconds, 1e-12),
+        "identical": identical,
+    }
+
+
+register(
+    Experiment(
+        name="anonbench",
+        title="§6.2 microbenchmark: batched vs. scalar anonymity Monte-Carlo at 1000 trials",
+        build_trials=_anonbench_trials,
+        run_trial=_anonbench_run,
+        deterministic=False,  # wall-clock timings; never serve from cache
+    )
+)
+
+
+def anonymity_microbenchmark(scale: float = 1.0) -> list[dict]:
+    """§6.2 microbenchmark: batched vs. scalar anonymity Monte-Carlo engine."""
+    return experiment_rows("anonbench", scale=scale)
+
+
+#: Backwards-compatible name → callable map (kept for tests and docs).
 FIGURES = {
     "fig07": figure07_anonymity_vs_malicious,
     "fig08": figure08_anonymity_vs_split,
@@ -640,4 +734,5 @@ FIGURES = {
     "fig16": figure16_resilience_analysis,
     "fig17": figure17_churn_resilience,
     "microbench": coding_microbenchmark,
+    "anonbench": anonymity_microbenchmark,
 }

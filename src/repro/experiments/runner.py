@@ -40,8 +40,13 @@ from .registry import Experiment, get_experiment
 #: Where artifacts land unless the caller overrides it (the CLI's --out).
 DEFAULT_RESULTS_DIR = Path("results")
 
-#: Artifact schema version, bumped when the JSON layout changes.
-ARTIFACT_VERSION = 1
+#: Artifact version: bumped when the JSON layout changes *or* when an
+#: engine change alters the rows computed for an unchanged
+#: (name, scale, seed, trials) key, so stale cached artifacts the current
+#: code cannot reproduce are never served.  v2: anonymity figures (7-10)
+#: moved to the batched Monte-Carlo engine, which consumes randomness in
+#: bulk draws rather than per trial.
+ARTIFACT_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,12 @@ from repro.anonymity.analysis import (
     redundancy_overhead,
     source_case1_probability,
 )
-from repro.anonymity.attacker import AttackerView, StageLayout, sample_stage_layout
+from repro.anonymity.attacker import (
+    AttackerView,
+    StageLayout,
+    _longest_true_run,
+    sample_stage_layout,
+)
 from repro.anonymity.metrics import (
     MetricError,
     degree_of_anonymity,
@@ -137,6 +142,50 @@ def test_attacker_view_exposure_comes_from_neighbours():
     assert view.exposed_stages[1] and view.exposed_stages[2] and view.exposed_stages[3]
     assert not view.exposed_stages[0]
     assert view.longest_chain_length == 3
+
+
+def test_longest_true_run_edge_cases():
+    assert _longest_true_run([]) == (0, 0)
+    assert _longest_true_run([False, False]) == (0, 0)
+    assert _longest_true_run([True] * 7) == (0, 7)
+    # Ties resolve to the first longest run.
+    assert _longest_true_run([True, True, False, True, True]) == (0, 2)
+    assert _longest_true_run([False, True, False, True]) == (1, 1)
+    # A later, strictly longer run wins.
+    assert _longest_true_run([True, False, True, True]) == (2, 2)
+
+
+def test_d_prime_smaller_than_d_is_never_decodable():
+    # With d' < d a stage can never contain d malicious relays, so neither
+    # Case-1 condition can fire even under a near-total compromise.
+    rng = np.random.default_rng(21)
+    for _ in range(50):
+        layout = sample_stage_layout(6, 4, 0.95, rng, d_prime=2)
+        view = AttackerView.from_layout(layout)
+        assert not view.first_stage_decodable
+        assert not view.decodable_stage_before_destination
+
+
+def test_d_prime_smaller_than_d_layout_shape():
+    rng = np.random.default_rng(22)
+    layout = sample_stage_layout(5, 3, 0.5, rng, d_prime=2)
+    assert layout.d == 3 and layout.d_prime == 2
+    assert all(len(stage) == 2 for stage in layout.malicious)
+
+
+@given(
+    path_length=st.integers(min_value=1, max_value=12),
+    d_prime=st.integers(min_value=1, max_value=6),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=80, deadline=None)
+def test_destination_slot_is_never_malicious(path_length, d_prime, fraction, seed):
+    rng = np.random.default_rng(seed)
+    layout = sample_stage_layout(path_length, 2, fraction, rng, d_prime=d_prime)
+    assert 1 <= layout.destination_stage <= path_length
+    assert not layout.malicious[layout.destination_stage][layout.destination_position]
+    assert not any(layout.malicious[0])
 
 
 # -- analytical formulas -------------------------------------------------------------------
