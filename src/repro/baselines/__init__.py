@@ -1,6 +1,19 @@
-"""Baseline systems: onion routing, onion + erasure codes, Chaum mixes."""
+"""Baseline systems: onion routing, onion + erasure codes, Chaum mixes.
 
-from .chaum import ChaumAnonymityResult, simulate_chaum_anonymity, sweep_chaum_anonymity
+The onion baselines also ship as :class:`~repro.overlay.runtime.ProtocolRuntime`
+implementations (:mod:`repro.baselines.runtime`), so the throughput and
+setup-latency figures drive them through the same driver as information
+slicing.
+"""
+
+from .chaum import (
+    ChaumAnonymityResult,
+    ChaumTrialValues,
+    simulate_chaum_anonymity,
+    simulate_chaum_anonymity_batch,
+    simulate_chaum_trials,
+    sweep_chaum_anonymity,
+)
 from .erasure import ErasureCoder, ErasureShare
 from .onion import OnionCircuit, OnionDirectory, OnionRelay, OnionSource, run_circuit
 from .onion_erasure import (
@@ -8,6 +21,7 @@ from .onion_erasure import (
     OnionErasureSource,
     run_multipath_transfer,
 )
+from .runtime import OnionErasureProtocolRuntime, OnionProtocolRuntime
 
 __all__ = [
     "OnionDirectory",
@@ -21,6 +35,11 @@ __all__ = [
     "MultiPathCircuits",
     "run_multipath_transfer",
     "ChaumAnonymityResult",
+    "ChaumTrialValues",
     "simulate_chaum_anonymity",
+    "simulate_chaum_anonymity_batch",
+    "simulate_chaum_trials",
     "sweep_chaum_anonymity",
+    "OnionProtocolRuntime",
+    "OnionErasureProtocolRuntime",
 ]

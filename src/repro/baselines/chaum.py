@@ -14,6 +14,23 @@ The model mirrors the information-slicing attacker analysis with ``d = 1``:
 * if the last mix is malicious the destination is exposed;
 * otherwise the attacker's suspicion concentrates on the neighbours of its
   longest compromised run, and the entropy metric quantifies what remains.
+
+Two engines implement the Monte-Carlo, mirroring
+:mod:`repro.anonymity.simulation`:
+
+* :func:`simulate_chaum_anonymity` — the scalar *reference*: one Python pass
+  per trial, kept deliberately close to the prose above.
+* :func:`simulate_chaum_anonymity_batch` — the vectorised engine behind
+  Fig. 7: all trials are sampled as one ``(trials, hops)`` boolean mask, the
+  longest compromised runs come out of the shared
+  :func:`~repro.anonymity.attacker._longest_true_runs` kernel, and the
+  entropy assignment (a pure function of the run length ``s`` once the
+  parameter point is fixed) is tabulated once and gathered per trial.
+
+Both engines draw their malicious masks through :func:`_sample_malicious`
+(one bulk draw, stream-identical to the historical per-trial draws), so the
+same seed yields bit-identical per-trial values from either — asserted in
+``tests/test_chaum_batch.py`` and again inside the ``chaumbench`` experiment.
 """
 
 from __future__ import annotations
@@ -22,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..anonymity.attacker import _longest_true_runs
 from ..anonymity.metrics import two_level_anonymity
 
 
@@ -32,6 +50,41 @@ class ChaumAnonymityResult:
     source_anonymity: float
     destination_anonymity: float
     trials: int
+
+
+@dataclass(frozen=True)
+class ChaumTrialValues:
+    """Per-trial outcomes of one Monte-Carlo run, before averaging.
+
+    Exposing the raw arrays lets the tests assert *exact* equivalence between
+    the scalar and batched engines: same seed in, same per-trial values out.
+    """
+
+    source_anonymity: np.ndarray
+    destination_anonymity: np.ndarray
+
+    @property
+    def trials(self) -> int:
+        return int(self.source_anonymity.size)
+
+    def result(self) -> ChaumAnonymityResult:
+        return ChaumAnonymityResult(
+            source_anonymity=float(self.source_anonymity.mean()),
+            destination_anonymity=float(self.destination_anonymity.mean()),
+            trials=self.trials,
+        )
+
+
+def _sample_malicious(
+    trials: int, path_length: int, fraction_malicious: float, rng: np.random.Generator
+) -> np.ndarray:
+    """All trials' malicious masks in one ``(trials, hops)`` draw.
+
+    ``Generator.random`` consumes its stream identically whether drawn in
+    bulk or row by row, so this sampler is bit-compatible with the historical
+    per-trial ``rng.random(path_length)`` loop.
+    """
+    return rng.random((trials, path_length)) < fraction_malicious
 
 
 def _longest_run(flags: np.ndarray) -> tuple[int, int]:
@@ -48,33 +101,24 @@ def _longest_run(flags: np.ndarray) -> tuple[int, int]:
     return best_start, best_len
 
 
-def simulate_chaum_anonymity(
-    num_nodes: int,
-    path_length: int,
-    fraction_malicious: float,
-    trials: int = 1000,
-    rng: np.random.Generator | None = None,
-) -> ChaumAnonymityResult:
-    """Monte-Carlo anonymity of a Chaum-mix chain of ``path_length`` relays."""
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
-    rng = np.random.default_rng() if rng is None else rng
-    src_total = 0.0
-    dst_total = 0.0
-    clean_nodes = max(int(num_nodes * (1.0 - fraction_malicious)), 1)
-    for _ in range(trials):
-        malicious = rng.random(path_length) < fraction_malicious
-        src_total += _chain_source_anonymity(
-            malicious, num_nodes, clean_nodes, path_length
-        )
-        dst_total += _chain_destination_anonymity(
-            malicious, num_nodes, clean_nodes, path_length
-        )
-    return ChaumAnonymityResult(
-        source_anonymity=src_total / trials,
-        destination_anonymity=dst_total / trials,
-        trials=trials,
-    )
+# -- entropy assignments as functions of the longest compromised run -------------
+
+
+def _chain_anonymity_from_run(
+    length: int, num_nodes: int, clean_nodes: int, path_length: int
+) -> float:
+    """Anonymity of the chain's hidden endpoint given the longest run ``length``.
+
+    Source and destination use the same assignment (the chain is symmetric):
+    the node immediately upstream (downstream) of the run is the prime
+    suspect; it is the true endpoint only if the run touches the chain's end.
+    """
+    if length == 0:
+        return two_level_anonymity(0, 0.0, clean_nodes, 1.0 / clean_nodes, num_nodes)
+    p_suspect = 1.0 / max(path_length - length, 1)
+    others = max(clean_nodes - 1, 1)
+    p_other = (1.0 - p_suspect) / others
+    return two_level_anonymity(1, p_suspect, others, p_other, num_nodes)
 
 
 def _chain_source_anonymity(
@@ -82,15 +126,8 @@ def _chain_source_anonymity(
 ) -> float:
     if malicious[0]:
         return 0.0
-    start, length = _longest_run(malicious)
-    if length == 0:
-        return two_level_anonymity(0, 0.0, clean_nodes, 1.0 / clean_nodes, num_nodes)
-    # The node immediately upstream of the first compromised run is the prime
-    # suspect; it is the true source only if the run starts at the chain head.
-    p_suspect = 1.0 / max(path_length - length, 1)
-    others = max(clean_nodes - 1, 1)
-    p_other = (1.0 - p_suspect) / others
-    return two_level_anonymity(1, p_suspect, others, p_other, num_nodes)
+    _start, length = _longest_run(malicious)
+    return _chain_anonymity_from_run(length, num_nodes, clean_nodes, path_length)
 
 
 def _chain_destination_anonymity(
@@ -98,13 +135,107 @@ def _chain_destination_anonymity(
 ) -> float:
     if malicious[-1]:
         return 0.0
-    start, length = _longest_run(malicious)
-    if length == 0:
-        return two_level_anonymity(0, 0.0, clean_nodes, 1.0 / clean_nodes, num_nodes)
-    p_suspect = 1.0 / max(path_length - length, 1)
-    others = max(clean_nodes - 1, 1)
-    p_other = (1.0 - p_suspect) / others
-    return two_level_anonymity(1, p_suspect, others, p_other, num_nodes)
+    _start, length = _longest_run(malicious)
+    return _chain_anonymity_from_run(length, num_nodes, clean_nodes, path_length)
+
+
+# -- engines ---------------------------------------------------------------------
+
+
+def _scalar_chaum_values(
+    malicious: np.ndarray, num_nodes: int, clean_nodes: int, path_length: int
+) -> ChaumTrialValues:
+    trials = malicious.shape[0]
+    source = np.empty(trials, dtype=float)
+    destination = np.empty(trials, dtype=float)
+    for trial in range(trials):
+        row = malicious[trial]
+        source[trial] = _chain_source_anonymity(
+            row, num_nodes, clean_nodes, path_length
+        )
+        destination[trial] = _chain_destination_anonymity(
+            row, num_nodes, clean_nodes, path_length
+        )
+    return ChaumTrialValues(source_anonymity=source, destination_anonymity=destination)
+
+
+def _batched_chaum_values(
+    malicious: np.ndarray, num_nodes: int, clean_nodes: int, path_length: int
+) -> ChaumTrialValues:
+    _starts, lengths = _longest_true_runs(malicious)
+    # For a fixed parameter point the assignment is a pure function of the
+    # longest run length s in {0, ..., L}; tabulate once, gather per trial.
+    table = np.array(
+        [
+            _chain_anonymity_from_run(int(s), num_nodes, clean_nodes, path_length)
+            for s in range(path_length + 1)
+        ]
+    )
+    values = table[lengths]
+    source = np.where(malicious[:, 0], 0.0, values)
+    destination = np.where(malicious[:, -1], 0.0, values)
+    return ChaumTrialValues(source_anonymity=source, destination_anonymity=destination)
+
+
+_ENGINES = {"scalar": _scalar_chaum_values, "batched": _batched_chaum_values}
+
+
+def simulate_chaum_trials(
+    num_nodes: int,
+    path_length: int,
+    fraction_malicious: float,
+    trials: int = 1000,
+    rng: np.random.Generator | None = None,
+    engine: str = "batched",
+) -> ChaumTrialValues:
+    """Run one parameter point and return the raw per-trial values.
+
+    ``engine`` selects ``"batched"`` (vectorised numpy, the default) or
+    ``"scalar"`` (the per-trial reference loop).  Both consume randomness
+    identically, so equal seeds give bit-identical per-trial values.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    try:
+        evaluate = _ENGINES[engine]
+    except KeyError:
+        known = ", ".join(sorted(_ENGINES))
+        raise ValueError(f"unknown engine {engine!r} (known: {known})") from None
+    rng = np.random.default_rng() if rng is None else rng
+    malicious = _sample_malicious(trials, path_length, fraction_malicious, rng)
+    clean_nodes = max(int(num_nodes * (1.0 - fraction_malicious)), 1)
+    return evaluate(malicious, num_nodes, clean_nodes, path_length)
+
+
+def simulate_chaum_anonymity(
+    num_nodes: int,
+    path_length: int,
+    fraction_malicious: float,
+    trials: int = 1000,
+    rng: np.random.Generator | None = None,
+) -> ChaumAnonymityResult:
+    """Monte-Carlo anonymity of a Chaum-mix chain (scalar reference engine)."""
+    return simulate_chaum_trials(
+        num_nodes, path_length, fraction_malicious, trials, rng, engine="scalar"
+    ).result()
+
+
+def simulate_chaum_anonymity_batch(
+    num_nodes: int,
+    path_length: int,
+    fraction_malicious: float,
+    trials: int = 1000,
+    rng: np.random.Generator | None = None,
+) -> ChaumAnonymityResult:
+    """Vectorised twin of :func:`simulate_chaum_anonymity` (same seed, same values).
+
+    All trials evaluate as numpy arrays in one pass; at the paper's 1000
+    trials per point this is well over an order of magnitude faster than the
+    scalar loop (asserted by the ``chaumbench`` experiment).
+    """
+    return simulate_chaum_trials(
+        num_nodes, path_length, fraction_malicious, trials, rng, engine="batched"
+    ).result()
 
 
 def sweep_chaum_anonymity(
@@ -121,7 +252,7 @@ def sweep_chaum_anonymity(
         results.append(
             (
                 fraction,
-                simulate_chaum_anonymity(
+                simulate_chaum_anonymity_batch(
                     num_nodes, path_length, fraction, trials, rng
                 ),
             )

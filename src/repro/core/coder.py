@@ -33,7 +33,7 @@ from .matrix import mds_matrix, random_invertible_matrix
 _LENGTH_PREFIX = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CodedBlock:
     """One coded slice of a message: a coefficient row plus the coded payload.
 
@@ -77,7 +77,7 @@ class CodedBlock:
 
     def size_bytes(self) -> int:
         """Total serialized size in bytes."""
-        return int(self.coefficients.size + self.payload.size)
+        return self.coefficients.size + self.payload.size
 
 
 def _pad_message(message: bytes, d: int) -> np.ndarray:

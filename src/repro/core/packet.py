@@ -33,7 +33,7 @@ class PacketKind(IntEnum):
     DATA = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One information-slicing packet.
 
@@ -67,7 +67,7 @@ class Packet:
     seq: int = 0
     source_address: str = ""
     destination_address: str = ""
-    metadata: dict = field(default_factory=dict)
+    _size: int | None = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def slice_count(self) -> int:
@@ -85,8 +85,23 @@ class Packet:
         return self.slices[1:]
 
     def size_bytes(self) -> int:
-        """Serialized size, used by the simulator's bandwidth model."""
-        return len(self.to_bytes())
+        """Serialized size, used by the simulator's bandwidth model.
+
+        Computed arithmetically (header plus ``slice_count`` equal-sized
+        slices, enforcing the constant packet format like :meth:`to_bytes`)
+        and cached on first call, so the hot simulation path never
+        serialises just to measure; always equals ``len(self.to_bytes())``.
+        Mutating ``slices`` after the first call is not supported.
+        """
+        if self._size is None:
+            if not self.slices:
+                raise PacketFormatError("cannot size a packet with no slices")
+            first = self.slices[0].size_bytes()
+            for block in self.slices[1:]:
+                if block.size_bytes() != first:
+                    raise PacketFormatError("all slices in a packet must be equal-sized")
+            self._size = _HEADER.size + len(self.slices) * first
+        return self._size
 
     # -- serialization -----------------------------------------------------------
 

@@ -12,6 +12,22 @@ transmit, and the overlay layer (local loop, discrete-event simulator, or a
 real socket daemon) decides how and when to deliver them.  Timeout-driven
 behaviour (forwarding despite missing parents) is triggered by the overlay
 calling :meth:`flush_setup` / :meth:`flush_data`.
+
+Data-plane engines
+------------------
+Per-(flow, seq) data slices live in a :class:`~repro.core.flow_decoder.FlowDecoder`
+(array-native accumulation).  Two engines turn accumulated slices into
+delivered messages:
+
+* ``"scalar"`` — the reference path: one
+  :func:`~repro.core.integrity.robust_decode` per message, attempted the
+  moment the ``d``-th slice arrives.  Kept deliberately close to the paper's
+  prose.
+* ``"batched"`` (default) — deliveries are deferred to the end of each
+  :meth:`handle_packets` call and decoded together through the batched
+  Gauss–Jordan kernels.  Bit-identical to the scalar engine (matrix inverses
+  are unique and irregular cases fall back to ``robust_decode``), asserted in
+  ``tests/test_dataplane.py``.
 """
 
 from __future__ import annotations
@@ -23,10 +39,14 @@ import numpy as np
 from ..crypto.symmetric import StreamCipher
 from .coder import CodedBlock, SliceCoder
 from .errors import CodingError, InsufficientSlicesError, ProtocolError
+from .flow_decoder import FlowDecoder
 from .integrity import robust_decode
 from .node_info import NodeInfo
 from .packet import Packet, PacketKind, random_padding_slice
 from .source import data_nonce
+
+#: Valid relay data-plane engines.
+ENGINES = ("scalar", "batched")
 
 
 @dataclass
@@ -39,11 +59,15 @@ class FlowState:
     info: NodeInfo | None = None
     setup_forwarded: bool = False
     pending_data: list[Packet] = field(default_factory=list)
-    data_blocks: dict[int, dict[int, CodedBlock]] = field(default_factory=dict)
+    data: FlowDecoder = field(init=False)
     data_forwarded: set[tuple[int, int]] = field(default_factory=set)
     data_flushed: set[int] = field(default_factory=set)
     delivered: dict[int, bytes] = field(default_factory=dict)
     last_activity: float = 0.0
+    retired_before: int = 0
+
+    def __post_init__(self) -> None:
+        self.data = FlowDecoder(self.d)
 
     @property
     def decoded(self) -> bool:
@@ -52,6 +76,18 @@ class FlowState:
     def own_setup_blocks(self) -> list[CodedBlock]:
         """The slices addressed to this node (slot 0 of every setup packet)."""
         return [packet.own_slice for packet in self.setup_packets.values()]
+
+    def retire_before(self, before_seq: int) -> int:
+        """Drop per-seq data state older than ``before_seq``; returns seqs dropped."""
+        if before_seq <= self.retired_before:
+            return 0
+        self.retired_before = before_seq
+        dropped = self.data.retire_before(before_seq)
+        self.data_forwarded = {
+            (seq, child) for seq, child in self.data_forwarded if seq >= before_seq
+        }
+        self.data_flushed = {seq for seq in self.data_flushed if seq >= before_seq}
+        return dropped
 
 
 @dataclass
@@ -83,6 +119,10 @@ class Relay:
     regenerate_redundancy:
         Enable the network-coding regeneration of §4.4.1.  Disabling it gives
         the plain "erasure-coding only" behaviour used by the ablation bench.
+    engine:
+        ``"batched"`` (default) decodes deliverable messages in batched
+        GF(2^8) kernels; ``"scalar"`` keeps the per-message reference path.
+        Both produce bit-identical delivered messages and stats.
     """
 
     def __init__(
@@ -91,11 +131,15 @@ class Relay:
         rng: np.random.Generator | None = None,
         auto_forward_setup: bool = True,
         regenerate_redundancy: bool = True,
+        engine: str = "batched",
     ) -> None:
+        if engine not in ENGINES:
+            raise ProtocolError(f"unknown relay engine {engine!r} (known: {ENGINES})")
         self.address = address
         self.rng = np.random.default_rng() if rng is None else rng
         self.auto_forward_setup = auto_forward_setup
         self.regenerate_redundancy = regenerate_redundancy
+        self.engine = engine
         self.flows: dict[int, FlowState] = {}
         self.stats = RelayStats()
 
@@ -119,6 +163,19 @@ class Relay:
             del self.flows[flow_id]
         return len(stale)
 
+    def retire_data(self, flow_id: int, before_seq: int) -> int:
+        """Drop a flow's per-seq data state older than ``before_seq``.
+
+        This is the retention window of a long-running flow: slices, forward
+        markers and flush markers for sequence numbers below ``before_seq``
+        are forgotten (the flow entry itself and delivered plaintexts stay).
+        Returns the number of sequence numbers retired.
+        """
+        state = self.flows.get(flow_id)
+        if state is None:
+            return 0
+        return state.retire_before(before_seq)
+
     def is_receiver(self, flow_id: int) -> bool:
         state = self.flows.get(flow_id)
         return bool(state and state.info and state.info.is_receiver)
@@ -134,16 +191,52 @@ class Relay:
 
     def handle_packet(self, packet: Packet, now: float = 0.0) -> list[Packet]:
         """Process one incoming packet; returns the packets to transmit."""
-        self.stats.packets_received += 1
-        self.stats.bytes_received += packet.size_bytes()
-        state = self._state_for(packet)
-        state.last_activity = now
-        if packet.kind == PacketKind.SETUP:
-            outgoing = self._handle_setup(state, packet)
-        elif packet.kind == PacketKind.DATA:
-            outgoing = self._handle_data(state, packet)
-        else:  # pragma: no cover - PacketKind is a closed enum
-            raise ProtocolError(f"unknown packet kind {packet.kind}")
+        return self.handle_packets([packet], now=now)
+
+    def handle_packets(self, packets: list[Packet], now: float = 0.0) -> list[Packet]:
+        """Process a batch of incoming packets; returns the packets to transmit.
+
+        Packets are processed in order, so a batch behaves exactly like the
+        equivalent sequence of :meth:`handle_packet` calls — except that with
+        the ``"batched"`` engine all messages that become deliverable during
+        the batch are decoded together in one batched kernel pass.
+        """
+        outgoing: list[Packet] = []
+        pending: list[tuple[FlowState, int]] = []
+        self.stats.packets_received += len(packets)
+        self.stats.bytes_received += sum(p.size_bytes() for p in packets)
+        index, total = 0, len(packets)
+        while index < total:
+            packet = packets[index]
+            state = self._state_for(packet)
+            state.last_activity = now
+            if packet.kind == PacketKind.SETUP:
+                outgoing.extend(self._handle_setup(state, packet, pending))
+            elif packet.kind == PacketKind.DATA:
+                if self.engine == "batched" and state.decoded:
+                    # Consume the whole same-connection run (one flow, one
+                    # lane, consecutive data packets) in one pass.
+                    run = index + 1
+                    while (
+                        run < total
+                        and packets[run].kind == PacketKind.DATA
+                        and packets[run].flow_id == packet.flow_id
+                        and packets[run].lane == packet.lane
+                    ):
+                        run += 1
+                    outgoing.extend(
+                        self._handle_data_run(
+                            state, packet.lane, packets[index:run], pending
+                        )
+                    )
+                    index = run
+                    continue
+                outgoing.extend(self._handle_data(state, packet, pending))
+            else:  # pragma: no cover - PacketKind is a closed enum
+                raise ProtocolError(f"unknown packet kind {packet.kind}")
+            index += 1
+        if pending:
+            self._deliver_pending(pending)
         self._account_sent(outgoing)
         return outgoing
 
@@ -153,7 +246,9 @@ class Relay:
 
     # -- setup phase -------------------------------------------------------------------
 
-    def _handle_setup(self, state: FlowState, packet: Packet) -> list[Packet]:
+    def _handle_setup(
+        self, state: FlowState, packet: Packet, pending: list[tuple[FlowState, int]]
+    ) -> list[Packet]:
         if packet.lane in state.setup_packets:
             return []
         state.setup_packets[packet.lane] = packet
@@ -169,9 +264,9 @@ class Relay:
             outgoing.extend(self._build_setup_forwards(state))
         # Data packets may have raced ahead of the setup decode.
         if state.decoded and state.pending_data:
-            pending, state.pending_data = state.pending_data, []
-            for buffered in pending:
-                outgoing.extend(self._handle_data(state, buffered))
+            buffered, state.pending_data = state.pending_data, []
+            for data_packet in buffered:
+                outgoing.extend(self._handle_data(state, data_packet, pending))
         return outgoing
 
     def _try_decode_info(self, state: FlowState) -> None:
@@ -243,19 +338,22 @@ class Relay:
 
     # -- data phase --------------------------------------------------------------------
 
-    def _handle_data(self, state: FlowState, packet: Packet) -> list[Packet]:
+    def _handle_data(
+        self, state: FlowState, packet: Packet, pending: list[tuple[FlowState, int]]
+    ) -> list[Packet]:
         if not state.decoded:
             state.pending_data.append(packet)
             return []
         info = state.info
         assert info is not None
-        per_seq = state.data_blocks.setdefault(packet.seq, {})
-        if packet.lane in per_seq:
+        if not state.data.add(packet.seq, packet.lane, packet.own_slice):
             return []
         block = packet.own_slice
-        per_seq[packet.lane] = block
         if info.is_receiver:
-            self._try_deliver(state, packet.seq)
+            if self.engine == "batched":
+                pending.append((state, packet.seq))
+            else:
+                self._try_deliver(state, packet.seq)
         outgoing: list[Packet] = []
         for child_index, (child, child_flow) in enumerate(
             zip(info.next_hop_addresses, info.next_hop_flow_ids)
@@ -279,6 +377,54 @@ class Relay:
             )
         return outgoing
 
+    def _handle_data_run(
+        self,
+        state: FlowState,
+        lane: int,
+        packets: list[Packet],
+        pending: list[tuple[FlowState, int]],
+    ) -> list[Packet]:
+        """Batched :meth:`_handle_data` for a same-lane run on a decoded flow.
+
+        Equivalent to handling each packet in order; the accumulation, the
+        receiver's pending-delivery bookkeeping and the forward construction
+        all run once per run instead of once per packet.
+        """
+        info = state.info
+        assert info is not None
+        accepted = state.data.add_run(
+            lane, [(packet.seq, packet.slices[0]) for packet in packets]
+        )
+        if not accepted:
+            return []
+        if info.is_receiver:
+            pending.extend((state, seq) for seq, _ in accepted)
+        outgoing: list[Packet] = []
+        data_forwarded = state.data_forwarded
+        for child_index, (child, child_flow) in enumerate(
+            zip(info.next_hop_addresses, info.next_hop_flow_ids)
+        ):
+            if info.data_map.for_child(child_index) != lane:
+                continue
+            for seq, block in accepted:
+                key = (seq, child_index)
+                if key in data_forwarded:
+                    continue
+                data_forwarded.add(key)
+                outgoing.append(
+                    Packet(
+                        flow_id=child_flow,
+                        kind=PacketKind.DATA,
+                        slices=[block],
+                        d=state.d,
+                        lane=info.lane,
+                        seq=seq,
+                        source_address=self.address,
+                        destination_address=child,
+                    )
+                )
+        return outgoing
+
     def flush_data(self, flow_id: int, seq: int) -> list[Packet]:
         """Regenerate and forward slices for children whose parent slice is lost.
 
@@ -291,14 +437,30 @@ class Relay:
         state = self.flows.get(flow_id)
         if state is None or not state.decoded:
             return []
+        return self._flush_data_state(state, seq)
+
+    def flush_data_many(self, flow_id: int, seqs: list[int]) -> list[Packet]:
+        """Batched :meth:`flush_data`: one flow-table resolution for a burst.
+
+        Identical behaviour and RNG consumption to flushing each ``seq`` in
+        order; the per-sequence flow lookup and decode check happen once.
+        """
+        state = self.flows.get(flow_id)
+        if state is None or not state.decoded:
+            return []
+        outgoing: list[Packet] = []
+        for seq in seqs:
+            outgoing.extend(self._flush_data_state(state, seq))
+        return outgoing
+
+    def _flush_data_state(self, state: FlowState, seq: int) -> list[Packet]:
         info = state.info
         assert info is not None
-        per_seq = state.data_blocks.get(seq, {})
         if seq in state.data_flushed or not info.next_hop_addresses:
             state.data_flushed.add(seq)
             return []
         state.data_flushed.add(seq)
-        blocks = list(per_seq.values())
+        blocks: list[CodedBlock] | None = None
         coder = SliceCoder(state.d)
         outgoing: list[Packet] = []
         for child_index, (child, child_flow) in enumerate(
@@ -306,8 +468,10 @@ class Relay:
         ):
             if (seq, child_index) in state.data_forwarded:
                 continue
-            if not self.regenerate_redundancy or len(blocks) < state.d:
+            if not self.regenerate_redundancy or state.data.count(seq) < state.d:
                 continue
+            if blocks is None:
+                blocks = state.data.blocks(seq)
             replacement = coder.recombine(blocks, self.rng)
             self.stats.regenerated_slices += 1
             state.data_forwarded.add((seq, child_index))
@@ -326,14 +490,45 @@ class Relay:
         self._account_sent(outgoing)
         return outgoing
 
+    def _deliver_pending(self, pending: list[tuple[FlowState, int]]) -> None:
+        """Batched delivery decode for every (flow, seq) touched by a batch."""
+        per_state: dict[int, tuple[FlowState, list[int]]] = {}
+        seen: set[tuple[int, int]] = set()
+        for state, seq in pending:
+            key = (id(state), seq)
+            if key in seen:
+                continue
+            seen.add(key)
+            per_state.setdefault(id(state), (state, []))[1].append(seq)
+        for state, seqs in per_state.values():
+            ready = [
+                seq
+                for seq in seqs
+                if seq not in state.delivered and state.data.count(seq) >= state.d
+            ]
+            if not ready:
+                continue
+            decoded = state.data.decode_many(ready)
+            if not decoded:
+                continue
+            info = state.info
+            assert info is not None
+            cipher = StreamCipher(info.secret_key)
+            for seq in ready:
+                ciphertext = decoded.get(seq)
+                if ciphertext is None:
+                    continue
+                state.delivered[seq] = cipher.decrypt(ciphertext, data_nonce(seq))
+                self.stats.messages_delivered += 1
+
     def _try_deliver(self, state: FlowState, seq: int) -> None:
         if seq in state.delivered:
             return
         info = state.info
         assert info is not None
-        blocks = list(state.data_blocks.get(seq, {}).values())
-        if len(blocks) < state.d:
+        if state.data.count(seq) < state.d:
             return
+        blocks = state.data.blocks(seq)
         coder = SliceCoder(state.d)
         try:
             ciphertext = robust_decode(coder, blocks)

@@ -8,7 +8,9 @@ from .ablations import (
 from .figures import (
     FIGURES,
     anonymity_microbenchmark,
+    chaum_microbenchmark,
     coding_microbenchmark,
+    dataplane_microbenchmark,
     figure07_anonymity_vs_malicious,
     figure08_anonymity_vs_split,
     figure09_anonymity_vs_path_length,
@@ -23,13 +25,19 @@ from .figures import (
 )
 from .registry import REGISTRY, Experiment, experiment_names, get_experiment, register
 from .runner import RunResult, experiment_rows, run_experiment
-from .setup_latency import measure_onion_setup, measure_slicing_setup, setup_latency_sweep
+from .setup_latency import (
+    measure_onion_setup,
+    measure_setup,
+    measure_slicing_setup,
+    setup_latency_sweep,
+)
 from .tables import format_table
 from .throughput import (
     ThroughputResult,
     aggregate_throughput_vs_flows,
     measure_onion_throughput,
     measure_slicing_throughput,
+    measure_throughput,
     throughput_vs_path_length,
 )
 
@@ -60,11 +68,15 @@ __all__ = [
     "figure17_churn_resilience",
     "coding_microbenchmark",
     "anonymity_microbenchmark",
+    "chaum_microbenchmark",
+    "dataplane_microbenchmark",
+    "measure_throughput",
     "measure_slicing_throughput",
     "measure_onion_throughput",
     "throughput_vs_path_length",
     "aggregate_throughput_vs_flows",
     "ThroughputResult",
+    "measure_setup",
     "measure_slicing_setup",
     "measure_onion_setup",
     "setup_latency_sweep",

@@ -5,29 +5,27 @@ injects the setup packets until the last relay stage has decoded its routing
 information (the paper places the receiver in the last stage for this
 measurement, so "last stage decoded" is the graph-complete instant).
 
-The onion-routing baseline sets up its circuit by forwarding the layered
-onion hop by hop; each relay pays one public-key decryption before passing
-the (smaller) onion on, and the measurement ends when the last relay has
-peeled its layer and the acknowledgement returns.
+The onion-routing baseline sets up its circuit by forwarding the real
+layered onion hop by hop (a few hundred bytes at the outermost layer for the
+paper's path lengths); each relay pays one public-key decryption plus the
+same per-setup-packet daemon handling constant the slicing runtime charges
+(:data:`~repro.overlay.node.DEFAULT_SETUP_PROCESSING_OVERHEAD`) before
+passing the (smaller) onion on, and the measurement ends when the last relay
+has peeled its layer and the acknowledgement returns.
+
+Both schemes run through the unified
+:class:`~repro.overlay.runtime.ProtocolRuntime` interface —
+:func:`measure_setup` is the one driver behind both figures, sharing its
+per-scheme construction with the throughput driver
+(:func:`~repro.experiments.throughput.prepare_scheme_transfer`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..core.source import Source
-from ..overlay.node import SimulatedOverlayNetwork, SlicingRuntime
 from ..overlay.profiles import OverlayProfile
-from .throughput import connection_bps_for
-
-#: Size of an onion setup message (bytes); roughly L layered RSA envelopes.
-ONION_SETUP_BYTES = 512
-
-#: Per-setup-packet daemon handling cost, matching the slicing runtime's
-#: DEFAULT_SETUP_PROCESSING_OVERHEAD so the comparison is fair.
-ONION_SETUP_HANDLING = 0.008
+from .throughput import PROTOCOL_LABELS, prepare_scheme_transfer
 
 
 @dataclass(frozen=True)
@@ -38,8 +36,34 @@ class SetupLatencyResult:
     setup_seconds: float
 
 
-def _addresses(prefix: str, count: int) -> list[str]:
-    return [f"{prefix}-{index}" for index in range(count)]
+def measure_setup(
+    scheme: str,
+    profile: OverlayProfile,
+    path_length: int,
+    d: int = 1,
+    d_prime: int | None = None,
+    seed: int = 17,
+    data_plane: str = "batched",
+) -> SetupLatencyResult:
+    """Unified driver: time one scheme's route establishment on a profile."""
+    d_prime = d if d_prime is None else d_prime
+    substrate, runtime, relays, destination = prepare_scheme_transfer(
+        scheme, profile, path_length, d, d_prime, seed, data_plane
+    )
+    start = substrate.sim.now
+    runtime.establish(relays, destination)
+    substrate.sim.run()
+    setup_seconds = runtime.setup_seconds()
+    if setup_seconds is None:
+        # Setup did not finish (should not happen without churn); report the
+        # time the simulation drained as an upper bound.
+        setup_seconds = substrate.sim.now - start
+    return SetupLatencyResult(
+        protocol=PROTOCOL_LABELS.get(scheme, scheme),
+        path_length=path_length,
+        d=d,
+        setup_seconds=setup_seconds,
+    )
 
 
 def measure_slicing_setup(
@@ -50,40 +74,8 @@ def measure_slicing_setup(
     seed: int = 17,
 ) -> SetupLatencyResult:
     """Time to establish one information-slicing forwarding graph."""
-    d_prime = d if d_prime is None else d_prime
-    rng = np.random.default_rng(seed)
-    source_stage = _addresses("src", d_prime)
-    relays = _addresses("relay", max(path_length * d_prime * 2, 24))
-    destination = "destination"
-    all_addresses = source_stage + relays + [destination]
-    network = profile.build_network(all_addresses, rng)
-    substrate = SimulatedOverlayNetwork(
-        network, connection_bps=connection_bps_for(profile)
-    )
-    runtime = SlicingRuntime(substrate, rng=np.random.default_rng(seed + 1))
-    source = Source(
-        source_stage[0],
-        source_stage[1:],
-        d=d,
-        d_prime=d_prime,
-        path_length=path_length,
-        rng=rng,
-    )
-    flow = source.establish_flow(relays, destination)
-    start = substrate.sim.now
-    progress = runtime.start_flow(source, flow)
-    substrate.sim.run()
-    last_stage = flow.graph.stages[-1]
-    complete = progress.setup_complete_time(last_stage)
-    if complete is None:
-        # Setup did not finish (should not happen without churn); report the
-        # time the simulation drained as an upper bound.
-        complete = substrate.sim.now
-    return SetupLatencyResult(
-        protocol="information-slicing",
-        path_length=path_length,
-        d=d,
-        setup_seconds=complete - start,
+    return measure_setup(
+        "slicing", profile, path_length, d=d, d_prime=d_prime, seed=seed
     )
 
 
@@ -91,64 +83,7 @@ def measure_onion_setup(
     profile: OverlayProfile, path_length: int, seed: int = 19
 ) -> SetupLatencyResult:
     """Time to build one onion circuit of ``path_length`` relays."""
-    rng = np.random.default_rng(seed)
-    relays = _addresses("onion", path_length)
-    all_addresses = ["onion-source", *relays]
-    network = profile.build_network(all_addresses, rng)
-    substrate = SimulatedOverlayNetwork(
-        network, connection_bps=connection_bps_for(profile)
-    )
-    chain = ["onion-source", *relays]
-    finished = {"at": None}
-
-    def forward(hop_index: int) -> None:
-        sender = chain[hop_index]
-        receiver = chain[hop_index + 1]
-        if hop_index == 0:
-            # The source performs one public-key encryption per layer.
-            cpu = network.resources(sender).pk_encrypt_time() * path_length
-        else:
-            # Relays pay one PK decryption plus the daemon's per-setup-packet
-            # handling cost (same constant the slicing runtime charges).
-            cpu = (
-                network.resources(sender).pk_decrypt_time()
-                + ONION_SETUP_HANDLING * network.resources(sender).load_factor
-            )
-
-        def on_delivered() -> None:
-            if hop_index + 1 == len(chain) - 1:
-                # Final relay peels its layer, then the ack travels back.
-                peel = substrate.reserve_cpu(
-                    receiver, network.resources(receiver).pk_decrypt_time()
-                )
-                ack_latency = sum(
-                    network.latency(chain[i + 1], chain[i])
-                    for i in range(len(chain) - 1)
-                )
-                substrate.sim.schedule_at(
-                    peel + ack_latency, lambda: finished.__setitem__("at", substrate.sim.now)
-                )
-            else:
-                forward(hop_index + 1)
-
-        substrate.transmit(
-            sender=sender,
-            receiver=receiver,
-            size_bytes=ONION_SETUP_BYTES,
-            on_delivered=on_delivered,
-            sender_cpu_seconds=cpu,
-        )
-
-    start = substrate.sim.now
-    forward(0)
-    substrate.sim.run()
-    end = finished["at"] if finished["at"] is not None else substrate.sim.now
-    return SetupLatencyResult(
-        protocol="onion-routing",
-        path_length=path_length,
-        d=1,
-        setup_seconds=end - start,
-    )
+    return measure_setup("onion", profile, path_length, seed=seed)
 
 
 def setup_latency_sweep(

@@ -1,11 +1,15 @@
 """Per-flow throughput experiments (§7.2, §7.3 — Figs. 11, 12, 13).
 
-Both protocols run over the same simulated substrate
+Every scheme runs over the same simulated substrate
 (:class:`~repro.overlay.node.SimulatedOverlayNetwork`): identical per-node CPU
-model, per-connection capacity, latencies and per-packet overhead.  The
-information-slicing flow uses the real protocol engines; the onion-routing
-flow uses the baseline's cost structure (one chain of relays, a symmetric
-crypto pass per hop, the source paying one pass per layer).
+model, per-connection capacity, latencies and per-packet overhead.  Since the
+unified-runtime refactor all schemes are driven through one driver
+(:func:`measure_throughput`): the scheme name selects a registered
+:class:`~repro.overlay.runtime.ProtocolRuntime` — ``"slicing"`` runs the real
+relay engines over the batched overlay data plane, ``"onion"`` and
+``"onion-erasure"`` run the baseline engines with the paper's cost structure
+(one symmetric pass per relay per cell, the source paying one pass per
+layer, one connection per hop).
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ import numpy as np
 
 from ..overlay.node import SimulatedOverlayNetwork, SlicingRuntime
 from ..overlay.profiles import OverlayProfile
+from ..overlay.runtime import ProtocolRuntime, build_runtime
 from ..core.source import Source
 
 #: Per-connection capacity (bits/s) of the prototype's transport on a LAN —
@@ -24,6 +29,13 @@ LAN_CONNECTION_BPS = 30e6
 
 #: Per-connection capacity on the wide area (PlanetLab-era TCP over ~80 ms RTT).
 WAN_CONNECTION_BPS = 0.9e6
+
+#: Scheme name -> reported protocol label.
+PROTOCOL_LABELS = {
+    "slicing": "information-slicing",
+    "onion": "onion-routing",
+    "onion-erasure": "onion-erasure",
+}
 
 
 def connection_bps_for(profile: OverlayProfile) -> float:
@@ -48,6 +60,117 @@ def _addresses(prefix: str, count: int) -> list[str]:
     return [f"{prefix}-{index}" for index in range(count)]
 
 
+def prepare_scheme_transfer(
+    scheme: str,
+    profile: OverlayProfile,
+    path_length: int,
+    d: int,
+    d_prime: int,
+    seed: int,
+    data_plane: str,
+) -> tuple[SimulatedOverlayNetwork, ProtocolRuntime, list[str], str]:
+    """Build the substrate, runtime, relay pool and destination for one scheme.
+
+    Shared by the throughput and setup-latency drivers, so the per-scheme
+    address plan and runtime construction live in exactly one place.
+    """
+    rng = np.random.default_rng(seed)
+    if scheme == "slicing":
+        source_stage = _addresses("src", d_prime)
+        relays = _addresses("relay", max(path_length * d_prime * 2, 32))
+        destination = "destination"
+        all_addresses = source_stage + relays + [destination]
+    elif scheme == "onion":
+        source_stage = ["onion-source"]
+        relays = _addresses("onion", path_length)
+        destination = "onion-destination"
+        all_addresses = [*source_stage, *relays, destination]
+    elif scheme == "onion-erasure":
+        source_stage = ["onion-source"]
+        relays = _addresses("onion", path_length * d_prime)
+        destination = "onion-destination"
+        all_addresses = [*source_stage, *relays, destination]
+    else:
+        raise KeyError(f"unknown throughput scheme {scheme!r}")
+    network = profile.build_network(all_addresses, rng)
+    substrate = SimulatedOverlayNetwork(
+        network, connection_bps=connection_bps_for(profile)
+    )
+    if scheme == "slicing":
+        runtime = build_runtime(
+            scheme,
+            substrate,
+            source_stage=source_stage,
+            d=d,
+            d_prime=d_prime,
+            path_length=path_length,
+            rng=rng,
+            runtime_rng=np.random.default_rng(seed + 1),
+            data_plane=data_plane,
+        )
+    elif scheme == "onion":
+        runtime = build_runtime(
+            scheme,
+            substrate,
+            source_address=source_stage[0],
+            path_length=path_length,
+            rng=rng,
+        )
+    else:
+        runtime = build_runtime(
+            scheme,
+            substrate,
+            source_address=source_stage[0],
+            path_length=path_length,
+            d=d,
+            d_prime=d_prime,
+            rng=rng,
+        )
+    return substrate, runtime, relays, destination
+
+
+def measure_throughput(
+    scheme: str,
+    profile: OverlayProfile,
+    path_length: int,
+    d: int = 1,
+    d_prime: int | None = None,
+    num_messages: int = 300,
+    message_bytes: int = 1500,
+    seed: int = 42,
+    data_plane: str = "batched",
+) -> ThroughputResult:
+    """Drive one transfer of any registered scheme and measure delivered goodput.
+
+    The unified driver behind Figs. 11–13: establish the route, drain the
+    simulator, then ship ``num_messages`` fixed-size messages and measure
+    bytes delivered per second of simulated time.
+    """
+    d_prime = d if d_prime is None else d_prime
+    substrate, runtime, relays, destination = prepare_scheme_transfer(
+        scheme, profile, path_length, d, d_prime, seed, data_plane
+    )
+    progress = runtime.establish(relays, destination)
+    substrate.sim.run()
+    transfer_start = substrate.sim.now
+    payload = bytes(message_bytes)
+    runtime.send_messages([payload] * num_messages)
+    substrate.sim.run()
+    delivered = len(progress.delivered_messages)
+    last = progress.last_delivery_at or transfer_start
+    duration = max(last - transfer_start, 1e-9)
+    throughput = progress.delivered_bytes * 8.0 / duration
+    return ThroughputResult(
+        protocol=PROTOCOL_LABELS.get(scheme, scheme),
+        path_length=path_length,
+        d=d,
+        d_prime=d_prime,
+        throughput_bps=throughput,
+        messages_delivered=delivered,
+        duration_seconds=duration,
+    )
+
+
 def measure_slicing_throughput(
     profile: OverlayProfile,
     path_length: int,
@@ -56,46 +179,19 @@ def measure_slicing_throughput(
     num_messages: int = 300,
     message_bytes: int = 1500,
     seed: int = 42,
+    data_plane: str = "batched",
 ) -> ThroughputResult:
     """Drive one information-slicing flow and measure delivered goodput."""
-    d_prime = d if d_prime is None else d_prime
-    rng = np.random.default_rng(seed)
-    source_stage = _addresses("src", d_prime)
-    relays = _addresses("relay", max(path_length * d_prime * 2, 32))
-    destination = "destination"
-    all_addresses = source_stage + relays + [destination]
-    network = profile.build_network(all_addresses, rng)
-    substrate = SimulatedOverlayNetwork(
-        network, connection_bps=connection_bps_for(profile)
-    )
-    runtime = SlicingRuntime(substrate, rng=np.random.default_rng(seed + 1))
-    source = Source(
-        source_stage[0],
-        source_stage[1:],
+    return measure_throughput(
+        "slicing",
+        profile,
+        path_length,
         d=d,
         d_prime=d_prime,
-        path_length=path_length,
-        rng=rng,
-    )
-    flow = source.establish_flow(relays, destination)
-    progress = runtime.start_flow(source, flow)
-    substrate.sim.run()
-    transfer_start = substrate.sim.now
-    payload = bytes(message_bytes)
-    runtime.send_messages(source, flow, [payload] * num_messages)
-    substrate.sim.run()
-    delivered = len(progress.delivered_messages)
-    last = progress.last_delivery_at or transfer_start
-    duration = max(last - transfer_start, 1e-9)
-    throughput = progress.delivered_bytes * 8.0 / duration
-    return ThroughputResult(
-        protocol="information-slicing",
-        path_length=path_length,
-        d=d,
-        d_prime=d_prime,
-        throughput_bps=throughput,
-        messages_delivered=delivered,
-        duration_seconds=duration,
+        num_messages=num_messages,
+        message_bytes=message_bytes,
+        seed=seed,
+        data_plane=data_plane,
     )
 
 
@@ -114,55 +210,13 @@ def measure_onion_throughput(
     capped by a single connection's capacity — which is exactly the effect
     information slicing's parallel paths avoid.
     """
-    rng = np.random.default_rng(seed)
-    relays = _addresses("onion", path_length)
-    all_addresses = ["onion-source", *relays, "onion-destination"]
-    network = profile.build_network(all_addresses, rng)
-    substrate = SimulatedOverlayNetwork(
-        network, connection_bps=connection_bps_for(profile)
-    )
-    chain = ["onion-source", *relays, "onion-destination"]
-    delivered = {"count": 0, "bytes": 0, "last": 0.0, "first": None}
-
-    def forward(hop_index: int) -> None:
-        sender = chain[hop_index]
-        receiver = chain[hop_index + 1]
-        resources = network.resources(sender)
-        if hop_index == 0:
-            cpu = resources.symmetric_time(message_bytes) * path_length
-        else:
-            cpu = resources.symmetric_time(message_bytes)
-        if hop_index + 1 == len(chain) - 1:
-            def on_delivered() -> None:
-                delivered["count"] += 1
-                delivered["bytes"] += message_bytes
-                if delivered["first"] is None:
-                    delivered["first"] = substrate.sim.now
-                delivered["last"] = substrate.sim.now
-        else:
-            def on_delivered() -> None:
-                forward(hop_index + 1)
-        substrate.transmit(
-            sender=sender,
-            receiver=receiver,
-            size_bytes=message_bytes,
-            on_delivered=on_delivered,
-            sender_cpu_seconds=cpu,
-        )
-
-    start = substrate.sim.now
-    for _ in range(num_messages):
-        forward(0)
-    substrate.sim.run()
-    duration = max(delivered["last"] - start, 1e-9)
-    return ThroughputResult(
-        protocol="onion-routing",
-        path_length=path_length,
-        d=1,
-        d_prime=1,
-        throughput_bps=delivered["bytes"] * 8.0 / duration,
-        messages_delivered=delivered["count"],
-        duration_seconds=duration,
+    return measure_throughput(
+        "onion",
+        profile,
+        path_length,
+        num_messages=num_messages,
+        message_bytes=message_bytes,
+        seed=seed,
     )
 
 
@@ -213,6 +267,7 @@ def aggregate_throughput_vs_flows(
     num_messages: int = 60,
     message_bytes: int = 1500,
     seed: int = 9,
+    data_plane: str = "batched",
 ) -> list[dict]:
     """Fig. 13: aggregate network throughput as concurrent flows increase.
 
@@ -238,7 +293,9 @@ def aggregate_throughput_vs_flows(
         substrate = SimulatedOverlayNetwork(
             network, connection_bps=connection_bps_for(profile)
         )
-        runtime = SlicingRuntime(substrate, rng=np.random.default_rng(seed + 1))
+        runtime = SlicingRuntime(
+            substrate, rng=np.random.default_rng(seed + 1), data_plane=data_plane
+        )
         total_bytes = 0
         progresses = []
         start = substrate.sim.now

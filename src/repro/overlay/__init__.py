@@ -17,6 +17,13 @@ from .node import (
     SlicingRuntime,
 )
 from .profiles import LAN_PROFILE, PLANETLAB_PROFILE, PROFILES, OverlayProfile, get_profile
+from .runtime import (
+    ProtocolRuntime,
+    SlicingProtocolRuntime,
+    build_runtime,
+    register_runtime,
+    runtime_schemes,
+)
 from .selection import (
     SelectionReport,
     adversary_capture_probability,
@@ -37,6 +44,11 @@ __all__ = [
     "SimulatedOverlayNetwork",
     "SlicingRuntime",
     "FlowProgress",
+    "ProtocolRuntime",
+    "SlicingProtocolRuntime",
+    "build_runtime",
+    "register_runtime",
+    "runtime_schemes",
     "DEFAULT_PER_PACKET_OVERHEAD",
     "ChurnModel",
     "PLANETLAB_CHURN",

@@ -128,7 +128,7 @@ class LocalOverlay:
             extra.extend(relay.flush_setup(flow_id))
             state = relay.flows.get(flow_id)
             if state is not None:
-                for seq in list(state.data_blocks):
+                for seq in state.data.seqs():
                     extra.extend(relay.flush_data(flow_id, seq))
         if not extra:
             return 0

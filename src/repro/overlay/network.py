@@ -41,6 +41,17 @@ class NodeResources:
         """CPU time to code or decode ``payload_bytes`` with split factor ``d``."""
         return self.coding_seconds_per_byte_per_d * d * payload_bytes * self.load_factor
 
+    def coding_time_batch(self, payload_bytes: int, d: int, count: int) -> float:
+        """CPU time to code or decode ``count`` equal-size payloads as one batch.
+
+        The modelled work is byte-proportional, so a batch costs exactly the
+        sum of its per-packet costs: batching collapses *scheduler events*
+        (one CPU reservation instead of ``count``), not the finite-field work
+        itself.  Keeping the totals equal is what makes the batched data
+        plane's simulated clock comparable with the per-packet reference.
+        """
+        return self.coding_time(payload_bytes, d) * count
+
     def symmetric_time(self, payload_bytes: int) -> float:
         """CPU time for one symmetric crypto pass over ``payload_bytes``."""
         return self.symmetric_seconds_per_byte * payload_bytes * self.load_factor

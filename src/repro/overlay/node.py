@@ -18,15 +18,34 @@ Resource model
   handling) queue on it;
 * a failed node silently drops everything addressed to it (the paper's
   unreachable PlanetLab nodes).
+
+Data planes
+-----------
+The runtime drives the protocol through one of two data planes:
+
+* ``"scalar"`` — the reference: every packet is its own transmit, arrival and
+  CPU event, and the relay decodes per message.  Kept deliberately simple;
+  this is the behaviour of the original per-packet simulator.
+* ``"batched"`` (default) — a burst of packets on one connection becomes one
+  :meth:`~SimulatedOverlayNetwork.transmit_batch` (per-packet serialisation
+  and CPU *times* are still accounted exactly, so the simulated clock stays
+  comparable), deliveries landing at one relay at one simulated instant
+  coalesce into a single batch event
+  (:meth:`~repro.overlay.simulator.EventSimulator.schedule_keyed`), and the
+  relay decodes whole batches through the batched GF(2^8) kernels.  Delivered
+  messages and relay counters are bit-identical to the scalar plane under a
+  shared seed (asserted in ``tests/test_dataplane.py``); only host wall-clock
+  and sub-millisecond event interleavings differ.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
+from ..core.errors import SimulationError
 from ..core.packet import Packet, PacketKind
 from ..core.relay import Relay
 from ..core.source import FlowSetup, Source
@@ -42,6 +61,46 @@ DEFAULT_PER_PACKET_OVERHEAD = 3e-5
 #: pure-Python matrix work of §4.3.5.  This is what makes route setup take
 #: hundreds of milliseconds in the paper's Fig. 14 despite a quiet LAN.
 DEFAULT_SETUP_PROCESSING_OVERHEAD = 0.008
+
+#: Valid runtime data planes.
+DATA_PLANES = ("scalar", "batched")
+
+#: Default per-flow retention window (sequence numbers) for relay data state.
+DEFAULT_SEQ_RETENTION = 1024
+
+#: Default idle time (simulated seconds) after which relay flow-table entries
+#: are garbage collected.
+DEFAULT_FLOW_RETENTION_SECONDS = 900.0
+
+#: Default pipelining quantum of the batched data plane: bursts ship in
+#: chunks of this many packets per connection.  A chunk is one simulator
+#: event, so events collapse by up to this factor, while chunks of one hop
+#: still overlap the next hop's serialisation — keeping the stage-pipelining
+#: behaviour (and therefore the throughput figures) of the per-packet path.
+DEFAULT_BATCH_CHUNK = 16
+
+
+def _queue_dones(
+    free: float, starts: Sequence[float], durations: Sequence[float]
+) -> list[float]:
+    """Completion times of a FIFO queue: ``done_i = max(start_i, done_{i-1}) + dur_i``.
+
+    Small batches run the plain recurrence; larger ones use its closed form
+    ``done_i = c_i + max(free, max_{j<=i}(start_j - c_{j-1}))`` (``c`` the
+    duration cumsum), which is three numpy passes instead of a Python loop.
+    """
+    if len(durations) < 8:
+        dones: list[float] = []
+        for start, duration in zip(starts, durations):
+            begin = start if start > free else free
+            free = begin + duration
+            dones.append(free)
+        return dones
+    durations_arr = np.asarray(durations, dtype=float)
+    starts_arr = np.asarray(starts, dtype=float)
+    csum = np.cumsum(durations_arr)
+    slack = np.maximum.accumulate(starts_arr - (csum - durations_arr))
+    return (csum + np.maximum(slack, free)).tolist()
 
 
 @dataclass
@@ -103,6 +162,24 @@ class SimulatedOverlayNetwork:
         self._cpu_free_at[address] = done
         return done
 
+    def reserve_cpu_sequence(
+        self, address: str, starts: Sequence[float], durations: Sequence[float]
+    ) -> list[float]:
+        """Queue a batch of CPU work items in one pass; returns completion times.
+
+        Item ``i`` begins no earlier than ``starts[i]`` (its packet's arrival
+        instant) and no earlier than the CPU becomes free — exactly the
+        arithmetic ``count`` individual :meth:`reserve_cpu` calls at those
+        instants would produce, collapsed into one bookkeeping pass so a
+        whole batch needs a single completion event.
+        """
+        if not durations:
+            return []
+        free = self._cpu_free_at.get(address, 0.0)
+        dones = _queue_dones(free, starts, durations)
+        self._cpu_free_at[address] = dones[-1]
+        return dones
+
     # -- transmission -------------------------------------------------------------------
 
     def transmit(
@@ -146,6 +223,73 @@ class SimulatedOverlayNetwork:
 
         self.sim.schedule_at(cpu_done, start_transmission)
 
+    def transmit_batch(
+        self,
+        sender: str,
+        receiver: str,
+        sizes: Sequence[int],
+        on_delivered: Callable[[list[float]], None],
+        sender_cpu_seconds: Sequence[float] | None = None,
+    ) -> None:
+        """Send a burst of packets on one connection with one delivery event.
+
+        Per-packet times are accounted exactly as :meth:`transmit` would:
+        each packet queues on the sender CPU (its cost plus the fixed
+        per-packet overhead), then serialises on the connection in order, and
+        arrives one propagation delay later.  But the whole burst raises a
+        *single* simulator event, fired at the last packet's arrival instant,
+        and ``on_delivered`` receives every packet's individual arrival time
+        so the receiver can charge its CPU faithfully.
+
+        Two modelling simplifications relative to the per-packet path: link
+        and CPU capacity are reserved when the batch is submitted (competing
+        traffic submitted later queues behind the whole burst), and a sender
+        failing mid-burst no longer truncates it — the batch is committed
+        once submission succeeds.  Neither changes any experiment that fails
+        nodes between phases, which is how churn is modelled.
+        """
+        sizes = list(sizes)
+        if not sizes:
+            return
+        if not self.is_alive(sender):
+            self.stats.packets_dropped += len(sizes)
+            return
+        if sender_cpu_seconds is None:
+            cpus = [0.0] * len(sizes)
+        else:
+            cpus = list(sender_cpu_seconds)
+            if len(cpus) != len(sizes):
+                raise SimulationError(
+                    "transmit_batch needs one CPU cost per packet "
+                    f"({len(cpus)} costs for {len(sizes)} packets)"
+                )
+        now = self.sim.now
+        ready_times = self.reserve_cpu_sequence(
+            sender,
+            [now] * len(sizes),
+            [cpu + self.per_packet_overhead for cpu in cpus],
+        )
+        key = (sender, receiver)
+        latency = self.network.latency(sender, receiver)
+        scale = 8.0 / self.connection_bps
+        link_dones = _queue_dones(
+            self._link_free_at.get(key, 0.0),
+            ready_times,
+            [size * scale for size in sizes],
+        )
+        self._link_free_at[key] = link_dones[-1]
+        arrivals = [done + latency for done in link_dones]
+        self.stats.packets_sent += len(sizes)
+        self.stats.bytes_sent += sum(sizes)
+
+        def deliver() -> None:
+            if not self.is_alive(receiver):
+                self.stats.packets_dropped += len(sizes)
+                return
+            on_delivered(arrivals)
+
+        self.sim.schedule_at(arrivals[-1], deliver)
+
 
 @dataclass
 class FlowProgress:
@@ -167,7 +311,32 @@ class FlowProgress:
 
 
 class SlicingRuntime:
-    """Runs real :class:`~repro.core.relay.Relay` engines over the simulator."""
+    """Runs real :class:`~repro.core.relay.Relay` engines over the simulator.
+
+    Parameters
+    ----------
+    substrate:
+        The shared transport substrate.
+    rng:
+        Randomness source (currently only used to derive relay seeds).
+    flush_timeout:
+        Simulated seconds after which un-forwardable state is flushed
+        (timeout-driven padding/regeneration, §4.4.1).
+    setup_processing_overhead:
+        Per-setup-packet daemon cost (see
+        :data:`DEFAULT_SETUP_PROCESSING_OVERHEAD`).
+    data_plane:
+        ``"batched"`` (default) or ``"scalar"`` — see the module docstring.
+    seq_retention:
+        Per-flow retention window: when data message ``seq`` is flushed,
+        relay state for sequence numbers below ``seq + 1 - seq_retention``
+        (stored slices, forward and flush markers) is retired, bounding relay
+        memory on long-running flows.  ``None`` disables retirement.
+    flow_retention_seconds:
+        Relay flow-table entries idle longer than this are garbage collected
+        (the satellite of :meth:`Relay.garbage_collect
+        <repro.core.relay.Relay.garbage_collect>`).  ``None`` disables.
+    """
 
     def __init__(
         self,
@@ -175,14 +344,31 @@ class SlicingRuntime:
         rng: np.random.Generator | None = None,
         flush_timeout: float = 2.0,
         setup_processing_overhead: float = DEFAULT_SETUP_PROCESSING_OVERHEAD,
+        data_plane: str = "batched",
+        seq_retention: int | None = DEFAULT_SEQ_RETENTION,
+        flow_retention_seconds: float | None = DEFAULT_FLOW_RETENTION_SECONDS,
+        batch_chunk: int = DEFAULT_BATCH_CHUNK,
     ) -> None:
+        if data_plane not in DATA_PLANES:
+            raise SimulationError(
+                f"unknown data plane {data_plane!r} (known: {DATA_PLANES})"
+            )
+        if seq_retention is not None and seq_retention < 1:
+            raise SimulationError(f"seq_retention must be >= 1, got {seq_retention}")
+        if batch_chunk < 1:
+            raise SimulationError(f"batch_chunk must be >= 1, got {batch_chunk}")
         self.substrate = substrate
         self.rng = np.random.default_rng() if rng is None else rng
         self.flush_timeout = flush_timeout
         self.setup_processing_overhead = setup_processing_overhead
+        self.data_plane = data_plane
+        self.seq_retention = seq_retention
+        self.flow_retention_seconds = flow_retention_seconds
+        self.batch_chunk = batch_chunk
         self.relays: dict[str, Relay] = {}
         self.progress: dict[int, FlowProgress] = {}
         self._flow_setups: dict[int, FlowSetup] = {}
+        self._flows_by_id: dict[int, tuple[FlowSetup, FlowProgress]] = {}
 
     @property
     def sim(self) -> EventSimulator:
@@ -191,7 +377,11 @@ class SlicingRuntime:
     def add_relay(self, address: str) -> Relay:
         if address not in self.relays:
             seed = abs(hash(address)) % (2**32)
-            self.relays[address] = Relay(address, rng=np.random.default_rng(seed))
+            # Data-plane names deliberately match the relay engine names, so
+            # a relay decodes the way its runtime ships.
+            self.relays[address] = Relay(
+                address, rng=np.random.default_rng(seed), engine=self.data_plane
+            )
         return self.relays[address]
 
     # -- driving a flow ------------------------------------------------------------------
@@ -204,8 +394,19 @@ class SlicingRuntime:
         key = id(flow)
         self.progress[key] = progress
         self._flow_setups[key] = flow
-        for packet in flow.setup_packets:
-            self._send_packet(packet, flow, progress, sender_cpu=0.0)
+        for flow_id in flow.plan.flow_ids.values():
+            self._flows_by_id[flow_id] = (flow, progress)
+        if self.data_plane == "batched":
+            for packet in flow.setup_packets:
+                self._transmit_packets(
+                    packet.source_address,
+                    packet.destination_address,
+                    [packet],
+                    [0.0],
+                )
+        else:
+            for packet in flow.setup_packets:
+                self._send_packet(packet, flow, progress, sender_cpu=0.0)
         # Timeout-driven flush so churn cannot wedge the setup forever.
         self.sim.schedule(self.flush_timeout, lambda: self._flush_setup(flow, progress))
         return progress
@@ -214,6 +415,9 @@ class SlicingRuntime:
         self, source: Source, flow: FlowSetup, message: bytes
     ) -> None:
         """Code and inject one data message from the source stage."""
+        if self.data_plane == "batched":
+            self.send_messages(source, flow, [message])
+            return
         packets = source.make_data_packets(flow, message)
         progress = self.progress[id(flow)]
         source_resources = self.substrate.network.resources(source.address)
@@ -230,32 +434,180 @@ class SlicingRuntime:
     def send_messages(
         self, source: Source, flow: FlowSetup, messages: list[bytes]
     ) -> None:
-        """Batched :meth:`send_message`: code all messages in one pass.
+        """Batched :meth:`send_message`: code and ship a burst in one pass.
 
         The coding happens through
         :meth:`~repro.core.source.Source.make_data_packets_batch`, so the
         GF(2^8) work for the whole burst is a single batched kernel call; the
         per-message CPU *cost model* charged to the source is unchanged, so
-        simulated timings stay comparable with the per-message path.
+        simulated timings stay comparable with the per-message path.  On the
+        batched data plane the burst additionally ships as one
+        :meth:`~SimulatedOverlayNetwork.transmit_batch` per connection and is
+        covered by a single flush timer.
         """
         if not messages:
             return
         packet_batches = source.make_data_packets_batch(flow, messages)
         progress = self.progress[id(flow)]
         source_resources = self.substrate.network.resources(source.address)
+        if self.data_plane == "scalar":
+            for message, packets in zip(messages, packet_batches):
+                per_packet_cpu = source_resources.coding_time(
+                    max(len(message) // max(flow.d, 1), 1), flow.d
+                )
+                for packet in packets:
+                    self._send_packet(packet, flow, progress, sender_cpu=per_packet_cpu)
+                seq = packets[0].seq
+                self.sim.schedule(
+                    self.flush_timeout,
+                    lambda seq=seq: self._flush_data(flow, progress, seq),
+                )
+            return
+        per_connection: dict[tuple[str, str], tuple[list[Packet], list[float]]] = {}
         for message, packets in zip(messages, packet_batches):
             per_packet_cpu = source_resources.coding_time(
                 max(len(message) // max(flow.d, 1), 1), flow.d
             )
             for packet in packets:
-                self._send_packet(packet, flow, progress, sender_cpu=per_packet_cpu)
-            seq = packets[0].seq
-            self.sim.schedule(
-                self.flush_timeout,
-                lambda seq=seq: self._flush_data(flow, progress, seq),
+                key = (packet.source_address, packet.destination_address)
+                entry = per_connection.setdefault(key, ([], []))
+                entry[0].append(packet)
+                entry[1].append(per_packet_cpu)
+        for (sender, receiver), (packets, cpus) in per_connection.items():
+            self._transmit_packets(sender, receiver, packets, cpus)
+        seqs = [packets[0].seq for packets in packet_batches]
+        self.sim.schedule(
+            self.flush_timeout,
+            lambda: self._flush_data_burst(flow, progress, seqs),
+        )
+
+    # -- batched data plane ----------------------------------------------------------------
+
+    def _transmit_packets(
+        self,
+        sender: str,
+        receiver: str,
+        packets: list[Packet],
+        sender_cpus: list[float],
+    ) -> None:
+        """Ship a same-connection burst; deliveries coalesce per receiver.
+
+        Bursts larger than ``batch_chunk`` ship as consecutive chunks, each a
+        single delivery event, so one hop's chunks overlap the next hop's
+        serialisation (stage pipelining) instead of the whole burst marching
+        stage by stage.
+        """
+        chunk = self.batch_chunk
+        for start in range(0, len(packets), chunk):
+            chunk_packets = packets[start : start + chunk]
+            chunk_cpus = sender_cpus[start : start + chunk]
+
+            def on_delivered(
+                arrivals: list[float], chunk_packets: list[Packet] = chunk_packets
+            ) -> None:
+                self.sim.schedule_keyed(
+                    ("rx", receiver),
+                    self.sim.now,
+                    (chunk_packets, arrivals),
+                    lambda items: self._process_inbox(receiver, items),
+                )
+
+            self.substrate.transmit_batch(
+                sender,
+                receiver,
+                [packet.size_bytes() for packet in chunk_packets],
+                on_delivered,
+                sender_cpu_seconds=chunk_cpus,
             )
 
-    # -- internals -------------------------------------------------------------------------
+    def _process_inbox(
+        self, receiver: str, items: list[tuple[list[Packet], list[float]]]
+    ) -> None:
+        """Charge receiver CPU for every coalesced packet; then process once."""
+        relay = self.relays.get(receiver)
+        if relay is None:
+            return
+        packets: list[Packet] = []
+        arrivals: list[float] = []
+        for batch_packets, batch_arrivals in items:
+            packets.extend(batch_packets)
+            arrivals.extend(batch_arrivals)
+        resources = self.substrate.network.resources(receiver)
+        durations = self._batch_durations(packets, resources)
+        dones = self.substrate.reserve_cpu_sequence(receiver, arrivals, durations)
+        self.sim.schedule_at(dones[-1], lambda: self._handle_batch(receiver, packets))
+
+    def _batch_durations(self, packets: list[Packet], resources) -> list[float]:
+        """Per-packet CPU durations; one cost computation for a uniform batch.
+
+        Uniformity is judged on what the cost actually depends on — kind,
+        split factor and payload bytes (the single-slice steady state makes
+        the latter one attribute read per packet); anything else takes the
+        per-packet path.
+        """
+        first = packets[0]
+        kind0 = first.kind
+        d0 = first.d
+        slices0 = first.slices
+        if len(slices0) == 1:
+            payload0 = slices0[0].payload.shape[0]
+            uniform = all(
+                p.kind is kind0
+                and p.d == d0
+                and len(p.slices) == 1
+                and p.slices[0].payload.shape[0] == payload0
+                for p in packets
+            )
+            if uniform:
+                cost = self._packet_cpu_cost(first, resources)
+                return [cost] * len(packets)
+        return [self._packet_cpu_cost(packet, resources) for packet in packets]
+
+    def _packet_cpu_cost(self, packet: Packet, resources) -> float:
+        slices = packet.slices
+        if len(slices) == 1:
+            payload_bytes = slices[0].payload.shape[0]
+        else:
+            payload_bytes = sum(block.payload.shape[0] for block in slices)
+        cost = resources.coding_time(payload_bytes, packet.d)
+        if packet.kind == PacketKind.SETUP:
+            cost += self.setup_processing_overhead * resources.load_factor
+        return cost + self.substrate.per_packet_overhead
+
+    def _handle_batch(self, receiver: str, packets: list[Packet]) -> None:
+        relay = self.relays.get(receiver)
+        if relay is None:
+            return
+        tracked: dict[int, tuple[FlowSetup, FlowProgress, bool]] = {}
+        for packet in packets:
+            if packet.flow_id in tracked:
+                continue
+            entry = self._flows_by_id.get(packet.flow_id)
+            if entry is None:
+                continue
+            flow, progress = entry
+            tracked[packet.flow_id] = (
+                flow,
+                progress,
+                self._relay_decoded(relay, flow, receiver),
+            )
+        outputs = relay.handle_packets(packets, now=self.sim.now)
+        for flow, progress, decoded_before in tracked.values():
+            if not decoded_before and self._relay_decoded(relay, flow, receiver):
+                progress.relay_decode_times.setdefault(receiver, self.sim.now)
+            self._record_delivery(relay, flow, progress, receiver)
+        self._dispatch_outputs(receiver, outputs)
+
+    def _dispatch_outputs(self, sender: str, outputs: list[Packet]) -> None:
+        if not outputs:
+            return
+        per_receiver: dict[str, list[Packet]] = {}
+        for packet in outputs:
+            per_receiver.setdefault(packet.destination_address, []).append(packet)
+        for receiver, packets in per_receiver.items():
+            self._transmit_packets(sender, receiver, packets, [0.0] * len(packets))
+
+    # -- scalar (per-packet) data plane ------------------------------------------------------
 
     def _send_packet(
         self,
@@ -304,6 +656,8 @@ class SlicingRuntime:
 
         self.sim.schedule_at(done, process)
 
+    # -- shared internals ---------------------------------------------------------------------
+
     def _relay_decoded(self, relay: Relay, flow: FlowSetup, address: str) -> bool:
         flow_id = flow.plan.flow_ids.get(address)
         state = relay.flows.get(flow_id) if flow_id is not None else None
@@ -315,7 +669,10 @@ class SlicingRuntime:
         if address != flow.destination:
             return
         flow_id = flow.plan.flow_ids[address]
-        for seq, message in relay.delivered_messages(flow_id).items():
+        state = relay.flows.get(flow_id)
+        if state is None or len(state.delivered) == len(progress.delivered_messages):
+            return
+        for seq, message in state.delivered.items():
             if seq not in progress.delivered_messages:
                 progress.delivered_messages[seq] = self.sim.now
                 progress.delivered_bytes += len(message)
@@ -329,8 +686,32 @@ class SlicingRuntime:
             if relay is None or not self.substrate.is_alive(relay_address):
                 continue
             flow_id = flow.plan.flow_ids[relay_address]
-            for output in relay.flush_setup(flow_id):
-                self._send_packet(output, flow, progress, sender_cpu=0.0)
+            outputs = relay.flush_setup(flow_id)
+            if self.data_plane == "batched":
+                self._dispatch_outputs(relay_address, outputs)
+            else:
+                for output in outputs:
+                    self._send_packet(output, flow, progress, sender_cpu=0.0)
+
+    def _flush_data_burst(
+        self, flow: FlowSetup, progress: FlowProgress, seqs: list[int]
+    ) -> None:
+        """Flush a whole burst: per relay, all of its sequence numbers at once.
+
+        Equivalent to per-seq flushes (each relay draws from its own RNG in
+        the same per-relay order), but one relay lookup, one output dispatch
+        and one delivery scan per relay instead of one per (relay, seq).
+        """
+        for relay_address in flow.graph.relays:
+            relay = self.relays.get(relay_address)
+            if relay is None or not self.substrate.is_alive(relay_address):
+                continue
+            flow_id = flow.plan.flow_ids[relay_address]
+            outputs = relay.flush_data_many(flow_id, seqs)
+            self._dispatch_outputs(relay_address, outputs)
+            self._record_delivery(relay, flow, progress, relay_address)
+        if seqs:
+            self._retire(flow, max(seqs))
 
     def _flush_data(self, flow: FlowSetup, progress: FlowProgress, seq: int) -> None:
         for relay_address in flow.graph.relays:
@@ -338,6 +719,29 @@ class SlicingRuntime:
             if relay is None or not self.substrate.is_alive(relay_address):
                 continue
             flow_id = flow.plan.flow_ids[relay_address]
-            for output in relay.flush_data(flow_id, seq):
-                self._send_packet(output, flow, progress, sender_cpu=0.0)
+            outputs = relay.flush_data(flow_id, seq)
+            if self.data_plane == "batched":
+                self._dispatch_outputs(relay_address, outputs)
+            else:
+                for output in outputs:
+                    self._send_packet(output, flow, progress, sender_cpu=0.0)
             self._record_delivery(relay, flow, progress, relay_address)
+        self._retire(flow, seq)
+
+    def _retire(self, flow: FlowSetup, seq: int) -> None:
+        """Apply the retention windows after data message ``seq`` was flushed."""
+        if self.seq_retention is not None:
+            horizon = seq + 1 - self.seq_retention
+            if horizon > 0:
+                for relay_address in flow.graph.relays:
+                    relay = self.relays.get(relay_address)
+                    if relay is None:
+                        continue
+                    relay.retire_data(flow.plan.flow_ids[relay_address], horizon)
+        if self.flow_retention_seconds is not None:
+            before = self.sim.now - self.flow_retention_seconds
+            if before > 0:
+                for relay_address in flow.graph.relays:
+                    relay = self.relays.get(relay_address)
+                    if relay is not None:
+                        relay.garbage_collect(before)

@@ -1,0 +1,164 @@
+"""Unified protocol-runtime interface over the simulated overlay substrate.
+
+Figs. 11–15 compare information slicing against onion routing (and its
+erasure-coded variant) over *identical* substrates: same latencies, same
+per-node CPU model, same per-connection capacity.  Historically every scheme
+had a bespoke driver loop inside the experiment modules; this module defines
+the one interface they all implement, so the experiments drive every scheme
+through the same two calls:
+
+1. :meth:`ProtocolRuntime.establish` — inject the scheme's route setup;
+2. :meth:`ProtocolRuntime.send_messages` — ship a burst of data messages.
+
+Progress is observable through the shared
+:class:`~repro.overlay.node.FlowProgress` (delivered messages and per-relay
+setup instants) and :meth:`ProtocolRuntime.setup_seconds`.
+
+Concrete runtimes: :class:`SlicingProtocolRuntime` (here) wraps the real
+relay engines via :class:`~repro.overlay.node.SlicingRuntime`;
+``OnionProtocolRuntime`` and ``OnionErasureProtocolRuntime`` live in
+:mod:`repro.baselines.runtime` and register themselves under ``"onion"`` and
+``"onion-erasure"``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from ..core.source import FlowSetup, Source
+from .node import FlowProgress, SimulatedOverlayNetwork, SlicingRuntime
+
+
+class ProtocolRuntime(abc.ABC):
+    """One anonymous transfer (setup + data burst) of one scheme."""
+
+    #: Registry key; subclasses set this and call :func:`register_runtime`.
+    scheme: str = ""
+
+    def __init__(self, substrate: SimulatedOverlayNetwork) -> None:
+        self.substrate = substrate
+        self.progress = FlowProgress()
+
+    @property
+    def sim(self):
+        return self.substrate.sim
+
+    @abc.abstractmethod
+    def establish(self, relays: list[str], destination: str) -> FlowProgress:
+        """Inject the scheme's route setup; returns the progress tracker.
+
+        The caller drives the simulator (``substrate.sim.run()``) afterwards;
+        nothing is processed until it does.
+        """
+
+    @abc.abstractmethod
+    def send_messages(self, messages: list[bytes]) -> None:
+        """Code/wrap and inject a burst of data messages."""
+
+    @abc.abstractmethod
+    def setup_seconds(self) -> float | None:
+        """Measured route-setup latency, or None if setup never completed."""
+
+
+#: Registered runtime factories by scheme name.
+RUNTIME_SCHEMES: dict[str, Callable[..., ProtocolRuntime]] = {}
+
+
+def register_runtime(name: str, factory: Callable[..., ProtocolRuntime]) -> None:
+    """Register a runtime factory; names must be unique."""
+    if name in RUNTIME_SCHEMES:
+        raise ValueError(f"runtime scheme {name!r} is already registered")
+    RUNTIME_SCHEMES[name] = factory
+
+
+def build_runtime(scheme: str, substrate: SimulatedOverlayNetwork, **kwargs) -> ProtocolRuntime:
+    """Instantiate the runtime registered under ``scheme``."""
+    _ensure_runtimes_loaded()
+    try:
+        factory = RUNTIME_SCHEMES[scheme]
+    except KeyError:
+        known = ", ".join(sorted(RUNTIME_SCHEMES))
+        raise KeyError(f"unknown runtime scheme {scheme!r} (known: {known})") from None
+    return factory(substrate, **kwargs)
+
+
+def runtime_schemes() -> list[str]:
+    """Sorted names of every registered protocol runtime."""
+    _ensure_runtimes_loaded()
+    return sorted(RUNTIME_SCHEMES)
+
+
+def _ensure_runtimes_loaded() -> None:
+    # Importing the baselines registers their runtimes, mirroring how the
+    # experiment registry loads its definitions.
+    from ..baselines import runtime as _baseline_runtimes  # noqa: F401
+
+
+class SlicingProtocolRuntime(ProtocolRuntime):
+    """Information slicing through the real relay engines (§4, §7).
+
+    Parameters mirror the paper: split factor ``d``, redundancy ``d'`` and
+    path length ``L``.  ``source_stage`` names the ``d'`` addresses the
+    source controls (they must be part of the substrate's network model).
+    ``data_plane`` selects the batched overlay data plane (default) or the
+    per-packet scalar reference; both deliver bit-identical messages.
+    """
+
+    scheme = "slicing"
+
+    def __init__(
+        self,
+        substrate: SimulatedOverlayNetwork,
+        source_stage: list[str],
+        d: int,
+        path_length: int,
+        d_prime: int | None = None,
+        rng: np.random.Generator | None = None,
+        runtime_rng: np.random.Generator | None = None,
+        data_plane: str = "batched",
+        runtime_kwargs: dict | None = None,
+    ) -> None:
+        super().__init__(substrate)
+        rng = np.random.default_rng() if rng is None else rng
+        if runtime_rng is None:
+            runtime_rng = np.random.default_rng(int(rng.integers(0, 2**31 - 1)))
+        self.source = Source(
+            source_stage[0],
+            source_stage[1:],
+            d=d,
+            d_prime=d_prime,
+            path_length=path_length,
+            rng=rng,
+        )
+        self.runtime = SlicingRuntime(
+            substrate,
+            rng=runtime_rng,
+            data_plane=data_plane,
+            **(runtime_kwargs or {}),
+        )
+        self.flow: FlowSetup | None = None
+
+    def establish(self, relays: list[str], destination: str) -> FlowProgress:
+        self.flow = self.source.establish_flow(relays, destination)
+        self.progress = self.runtime.start_flow(self.source, self.flow)
+        return self.progress
+
+    def send_messages(self, messages: list[bytes]) -> None:
+        assert self.flow is not None, "establish() must run before send_messages()"
+        self.runtime.send_messages(self.source, self.flow, messages)
+
+    def setup_seconds(self) -> float | None:
+        """Time until the last relay stage decoded its routing information."""
+        if self.flow is None:
+            return None
+        last_stage = self.flow.graph.stages[-1]
+        complete = self.progress.setup_complete_time(last_stage)
+        if complete is None:
+            return None
+        return complete - self.progress.setup_injected_at
+
+
+register_runtime(SlicingProtocolRuntime.scheme, SlicingProtocolRuntime)

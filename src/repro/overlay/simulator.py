@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from ..core.errors import SimulationError
 
@@ -40,6 +40,16 @@ class EventHandle:
         return self._event.time
 
 
+class _KeyedBatch:
+    """Items accumulated for one (key, instant) pair; drained by one event."""
+
+    __slots__ = ("time", "items")
+
+    def __init__(self, time: float, items: list) -> None:
+        self.time = time
+        self.items = items
+
+
 class EventSimulator:
     """Deterministic discrete-event loop."""
 
@@ -47,7 +57,9 @@ class EventSimulator:
         self.now = 0.0
         self._queue: list[_ScheduledEvent] = []
         self._sequence = itertools.count()
+        self._batches: dict[object, _KeyedBatch] = {}
         self.events_processed = 0
+        self.batched_events = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` ``delay`` simulated seconds from now."""
@@ -62,6 +74,40 @@ class EventSimulator:
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` at absolute simulated time ``time``."""
         return self.schedule(max(time - self.now, 0.0), callback)
+
+    def schedule_keyed(
+        self,
+        key: object,
+        time: float,
+        item: Any,
+        drain: Callable[[list], None],
+    ) -> None:
+        """Coalesce ``item`` with others landing on ``key`` at the same instant.
+
+        The first item for a ``(key, time)`` pair schedules one event at
+        absolute time ``time``; items added for the same pair before it fires
+        join its batch instead of scheduling further events.  When the event
+        fires, ``drain`` receives every accumulated item in arrival order —
+        this is what lets the overlay runtime process all packets landing at
+        one relay at one simulated instant as a single batch.  Tie-breaking
+        stays deterministic: batch events obey the same (time, sequence)
+        order as everything else, and items within a batch keep the order in
+        which they were enqueued.
+        """
+        batch = self._batches.get(key)
+        if batch is not None and batch.time == time:
+            batch.items.append(item)
+            self.batched_events += 1
+            return
+        batch = _KeyedBatch(time, [item])
+        self._batches[key] = batch
+
+        def fire() -> None:
+            if self._batches.get(key) is batch:
+                del self._batches[key]
+            drain(batch.items)
+
+        self.schedule_at(time, fire)
 
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
         """Process events until the queue drains or ``until`` is reached.

@@ -1,0 +1,141 @@
+"""The unified ProtocolRuntime interface: slicing and the onion baselines
+drive Figs. 11-15 through one establish/send driver over one substrate."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.dataplane import compare_data_planes
+from repro.experiments.runner import run_experiment
+from repro.experiments.setup_latency import measure_setup
+from repro.experiments.throughput import measure_throughput
+from repro.overlay.node import SimulatedOverlayNetwork
+from repro.overlay.profiles import LAN_PROFILE
+from repro.overlay.runtime import build_runtime, runtime_schemes
+
+
+def test_registry_lists_all_schemes():
+    assert runtime_schemes() == ["onion", "onion-erasure", "slicing"]
+    with pytest.raises(KeyError):
+        build_runtime("carrier-pigeon", None)
+
+
+def build_substrate(addresses, seed=0):
+    network = LAN_PROFILE.build_network(addresses, np.random.default_rng(seed))
+    return SimulatedOverlayNetwork(network, connection_bps=30e6)
+
+
+def test_onion_runtime_delivers_plaintexts_end_to_end():
+    relays = [f"onion-{i}" for i in range(4)]
+    substrate = build_substrate(["src", *relays, "dst"])
+    runtime = build_runtime(
+        "onion",
+        substrate,
+        source_address="src",
+        path_length=4,
+        rng=np.random.default_rng(1),
+    )
+    progress = runtime.establish(relays, "dst")
+    substrate.sim.run()
+    assert runtime.setup_seconds() > 0
+    # Every circuit relay peeled a layer during setup.
+    assert set(runtime._driver.handles) == set(runtime._driver.circuit.hops)
+    messages = [b"cell-%d" % i for i in range(5)]
+    runtime.send_messages(messages)
+    substrate.sim.run()
+    assert len(progress.delivered_messages) == 5
+    # The delivered cells are the original plaintexts: every layer stripped.
+    assert [runtime.delivered[i] for i in range(5)] == messages
+
+
+def test_onion_erasure_runtime_survives_a_circuit_failure():
+    d, d_prime, path_length = 2, 3, 2
+    relays = [f"onion-{i}" for i in range(d_prime * path_length)]
+    substrate = build_substrate(["src", *relays, "dst"], seed=2)
+    runtime = build_runtime(
+        "onion-erasure",
+        substrate,
+        source_address="src",
+        path_length=path_length,
+        d=d,
+        d_prime=d_prime,
+        rng=np.random.default_rng(3),
+    )
+    progress = runtime.establish(relays, "dst")
+    substrate.sim.run()
+    assert runtime.setup_seconds() > 0
+    # Kill one whole circuit: d = 2 of the remaining d' - 1 = 2 still suffice.
+    victim = runtime._drivers[0].circuit.hops[0]
+    substrate.fail_node(victim)
+    runtime.send_messages([b"striped message"])
+    substrate.sim.run()
+    assert progress.delivered_messages
+    assert runtime.delivered[0] == b"striped message"
+
+
+def test_onion_erasure_runtime_fails_below_d_circuits():
+    d, d_prime, path_length = 2, 3, 2
+    relays = [f"onion-{i}" for i in range(d_prime * path_length)]
+    substrate = build_substrate(["src", *relays, "dst"], seed=4)
+    runtime = build_runtime(
+        "onion-erasure",
+        substrate,
+        source_address="src",
+        path_length=path_length,
+        d=d,
+        d_prime=d_prime,
+        rng=np.random.default_rng(5),
+    )
+    progress = runtime.establish(relays, "dst")
+    substrate.sim.run()
+    for driver in runtime._drivers[:2]:
+        substrate.fail_node(driver.circuit.hops[0])
+    runtime.send_messages([b"lost message"])
+    substrate.sim.run()
+    assert not progress.delivered_messages
+
+
+def test_unified_throughput_driver_covers_all_schemes():
+    results = {
+        scheme: measure_throughput(
+            scheme, LAN_PROFILE, path_length=3, d=2, d_prime=3,
+            num_messages=20, message_bytes=600, seed=31,
+        )
+        for scheme in ("slicing", "onion", "onion-erasure")
+    }
+    assert results["slicing"].protocol == "information-slicing"
+    assert results["onion"].protocol == "onion-routing"
+    assert results["onion-erasure"].protocol == "onion-erasure"
+    for result in results.values():
+        assert result.messages_delivered == 20
+    # The paper's headline: parallel slicing paths beat the single chain.
+    assert results["slicing"].throughput_bps > results["onion"].throughput_bps
+    with pytest.raises(KeyError):
+        measure_throughput("smoke-signals", LAN_PROFILE, path_length=2)
+
+
+def test_unified_setup_driver_covers_all_schemes():
+    onion = measure_setup("onion", LAN_PROFILE, path_length=3, seed=7)
+    slicing = measure_setup("slicing", LAN_PROFILE, path_length=3, d=2, seed=7)
+    multi = measure_setup("onion-erasure", LAN_PROFILE, path_length=3, d=2, d_prime=3, seed=7)
+    assert 0 < onion.setup_seconds < slicing.setup_seconds
+    # d' disjoint circuits take at least as long as one.
+    assert multi.setup_seconds >= onion.setup_seconds * 0.9
+    with pytest.raises(KeyError):
+        measure_setup("smoke-signals", LAN_PROFILE, path_length=2)
+
+
+def test_dataplane_comparison_is_bit_identical_at_small_scale():
+    row = compare_data_planes(reps=1, seed=3, num_messages=8, message_bytes=256)
+    assert row["identical"]
+    assert row["batched_events"] < row["scalar_events"]
+
+
+def test_fig13_rows_identical_across_worker_counts(tmp_path):
+    serial = run_experiment("fig13", scale=0.05, workers=1, out_dir=tmp_path / "serial")
+    parallel = run_experiment(
+        "fig13", scale=0.05, workers=2, out_dir=tmp_path / "parallel", force=True
+    )
+    assert serial.rows == parallel.rows
+    assert (tmp_path / "serial" / "fig13.json").read_bytes() == (
+        tmp_path / "parallel" / "fig13.json"
+    ).read_bytes()
