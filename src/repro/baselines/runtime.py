@@ -26,7 +26,7 @@ from ..overlay.node import (
     DEFAULT_BATCH_CHUNK,
     DEFAULT_SETUP_PROCESSING_OVERHEAD,
     FlowProgress,
-    SimulatedOverlayNetwork,
+    OverlayTransport,
 )
 from ..overlay.runtime import ProtocolRuntime, register_runtime
 from .erasure import ErasureShare
@@ -78,10 +78,10 @@ class _CircuitDriver:
                 + self.setup_processing_overhead * resources.load_factor
             )
 
-        def on_delivered() -> None:
+        def on_delivered(delivered: bytes) -> None:
             sim = self.substrate.sim
             self.runtime.progress.relay_decode_times.setdefault(receiver, sim.now)
-            handle, _next_hop, inner = self.engines[receiver].handle_setup(blob)
+            handle, _next_hop, inner = self.engines[receiver].handle_setup(delivered)
             self.handles[receiver] = handle
             if hop_index + 1 == len(chain) - 2:
                 # Final relay: pay its peel on its own CPU, then the
@@ -99,11 +99,11 @@ class _CircuitDriver:
             else:
                 self._forward_setup(hop_index + 1, inner)
 
-        self.substrate.transmit(
-            sender=sender,
-            receiver=receiver,
-            size_bytes=len(blob),
-            on_delivered=on_delivered,
+        self.substrate.transmit_blob(
+            sender,
+            receiver,
+            blob,
+            on_delivered,
             sender_cpu_seconds=cpu,
         )
 
@@ -148,22 +148,23 @@ class _CircuitDriver:
         else:
             cpus = [resources.symmetric_time(len(cell)) for cell in cells]
 
-        def on_delivered(arrivals: list[float]) -> None:
+        def on_delivered(delivered: list[bytes], arrivals: list[float]) -> None:
             if receiver == self.circuit.destination:
-                self.runtime._deliver_cells(self.circuit, seqs, cells)
+                self.runtime._deliver_cells(self.circuit, seqs, delivered)
                 return
             handle = self.handles.get(receiver)
             if handle is None:
                 return  # circuit never established through this relay
             stripped = [
-                self.engines[receiver].handle_data(handle, cell)[1] for cell in cells
+                self.engines[receiver].handle_data(handle, cell)[1]
+                for cell in delivered
             ]
             self._forward_cells(hop_index + 1, seqs, stripped, source_layers)
 
-        self.substrate.transmit_batch(
+        self.substrate.transmit_blobs(
             sender,
             receiver,
-            [len(cell) for cell in cells],
+            cells,
             on_delivered,
             sender_cpu_seconds=cpus,
         )
@@ -176,7 +177,7 @@ class OnionProtocolRuntime(ProtocolRuntime):
 
     def __init__(
         self,
-        substrate: SimulatedOverlayNetwork,
+        substrate: OverlayTransport,
         source_address: str,
         path_length: int,
         rng: np.random.Generator | None = None,
@@ -247,6 +248,9 @@ class OnionProtocolRuntime(ProtocolRuntime):
             return None
         return self._driver.setup_finished_at - (self._setup_started_at or 0.0)
 
+    def delivered_plaintexts(self) -> dict[int, bytes]:
+        return dict(self.delivered)
+
 
 class OnionErasureProtocolRuntime(ProtocolRuntime):
     """Onion routing with erasure codes over ``d'`` node-disjoint circuits (§8.1)."""
@@ -255,7 +259,7 @@ class OnionErasureProtocolRuntime(ProtocolRuntime):
 
     def __init__(
         self,
-        substrate: SimulatedOverlayNetwork,
+        substrate: OverlayTransport,
         source_address: str,
         path_length: int,
         d: int,
@@ -351,6 +355,9 @@ class OnionErasureProtocolRuntime(ProtocolRuntime):
         if not finished or any(at is None for at in finished):
             return None
         return max(finished) - (self._setup_started_at or 0.0)
+
+    def delivered_plaintexts(self) -> dict[int, bytes]:
+        return dict(self.delivered)
 
 
 register_runtime(OnionProtocolRuntime.scheme, OnionProtocolRuntime)

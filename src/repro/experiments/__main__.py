@@ -4,12 +4,16 @@ Subcommands::
 
     python -m repro.experiments run <name> [...] [--workers N] [--scale S]
                                     [--out DIR] [--seed N] [--force]
+                                    [--backend sim|aio]
     python -m repro.experiments list
 
 ``run`` executes registered experiments through the parallel runner and
 writes canonical JSON artifacts (default: ``results/``); artifacts matching
 the requested (experiment, scale, seed) are re-used unless ``--force``.
-``list`` prints every registered experiment.
+``--backend aio`` drives the overlay experiments (figs. 11-15) over the
+asyncio localhost-TCP backend instead of the discrete-event simulator; the
+structural fields land in ``<name>.parity.json`` for cross-backend
+comparison.  ``list`` prints every registered experiment.
 
 The legacy invocation ``python -m repro.experiments [fig07 ...] [--scale S]``
 still works: it runs the named figures inline and prints their tables.
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 
+from ..overlay.runtime import SUBSTRATE_BACKENDS
 from .registry import experiment_names, get_experiment
 from .runner import DEFAULT_RESULTS_DIR, run_experiment
 from .tables import format_table
@@ -83,6 +88,13 @@ def _dispatch(argv: list[str]) -> int:
         "--seed", type=int, default=None, help="override the experiment's base seed"
     )
     run_parser.add_argument(
+        "--backend",
+        choices=SUBSTRATE_BACKENDS,
+        default="sim",
+        help="overlay transport backend for figs. 11-15: 'sim' (discrete-event, "
+        "default) or 'aio' (asyncio localhost TCP)",
+    )
+    run_parser.add_argument(
         "--force",
         action="store_true",
         help="recompute even if a matching artifact exists",
@@ -99,10 +111,29 @@ def _dispatch(argv: list[str]) -> int:
 
 
 def _run_command(args: argparse.Namespace) -> int:
+    import sys
+
     unknown = [name for name in args.names if name not in experiment_names()]
     if unknown:
         known = ", ".join(experiment_names())
-        print(f"unknown experiment(s): {', '.join(unknown)} (known: {known})")
+        print(
+            f"error: unknown experiment(s): {', '.join(unknown)} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    # Validate backend support up front so usage mistakes exit with one
+    # line, while genuine failures inside trial code keep their tracebacks.
+    unsupported = [
+        name
+        for name in args.names
+        if args.backend not in get_experiment(name).backends
+    ]
+    if unsupported:
+        print(
+            f"error: experiment(s) {', '.join(unsupported)} do not support "
+            f"backend {args.backend!r} (simulator-only)",
+            file=sys.stderr,
+        )
         return 2
     for name in args.names:
         result = run_experiment(
@@ -112,10 +143,23 @@ def _run_command(args: argparse.Namespace) -> int:
             seed=args.seed,
             out_dir=args.out,
             force=args.force,
+            backend=args.backend,
         )
         status = "cached" if result.cached else f"{result.elapsed_seconds:.2f}s"
-        print(f"\n=== {name} (scale={result.scale}, seed={result.seed}, {status}) ===")
-        print(format_table(result.rows))
+        header = f"scale={result.scale}, seed={result.seed}"
+        if result.backend != "sim":
+            header += f", backend={result.backend}"
+        print(f"\n=== {name} ({header}, {status}) ===")
+        # The structural parity sub-dicts are artifact material, not table
+        # material — they would dwarf every other column.
+        print(
+            format_table(
+                [
+                    {key: value for key, value in row.items() if key != "parity"}
+                    for row in result.rows
+                ]
+            )
+        )
         if result.artifact is not None:
             print(f"artifact: {result.artifact}")
     return 0

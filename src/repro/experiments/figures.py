@@ -297,18 +297,21 @@ def _fig12_trials(scale: float) -> list[dict]:
 
 def _throughput_run(params: dict, rng: np.random.Generator) -> dict:
     profile = _PROFILES[params["profile"]]
+    backend = params.get("backend", "sim")
     slicing = measure_slicing_throughput(
         profile,
         params["path_length"],
         d=params["d"],
         num_messages=params["num_messages"],
         seed=spawn_seed(rng),
+        backend=backend,
     )
     onion = measure_onion_throughput(
         profile,
         params["path_length"],
         num_messages=params["num_messages"],
         seed=spawn_seed(rng),
+        backend=backend,
     )
     return {
         "path_length": params["path_length"],
@@ -316,6 +319,13 @@ def _throughput_run(params: dict, rng: np.random.Generator) -> dict:
         "onion_mbps": onion.throughput_bps / 1e6,
         "slicing_delivered": slicing.messages_delivered,
         "onion_delivered": onion.messages_delivered,
+        # Structural fields only — what both backends must agree on; the
+        # runner mirrors this sub-dict into <name>.parity.json.
+        "parity": {
+            "path_length": params["path_length"],
+            "slicing": slicing.parity_fields(),
+            "onion": onion.parity_fields(),
+        },
     }
 
 
@@ -325,6 +335,7 @@ register(
         title="Fig. 11: LAN throughput vs. path length, slicing (d=2) vs. onion routing",
         build_trials=_fig11_trials,
         run_trial=_throughput_run,
+        backends=("sim", "aio"),
     )
 )
 
@@ -334,6 +345,7 @@ register(
         title="Fig. 12: PlanetLab throughput vs. path length",
         build_trials=_fig12_trials,
         run_trial=_throughput_run,
+        backends=("sim", "aio"),
     )
 )
 
@@ -377,6 +389,7 @@ def _fig13_run(params: dict, rng: np.random.Generator) -> dict:
         d=params["d"],
         num_messages=params["num_messages"],
         seed=spawn_seed(rng),
+        backend=params.get("backend", "sim"),
     )
     return rows[0]
 
@@ -387,6 +400,7 @@ register(
         title="Fig. 13: aggregate throughput vs. number of concurrent flows",
         build_trials=_fig13_trials,
         run_trial=_fig13_run,
+        backends=("sim", "aio"),
     )
 )
 
@@ -416,15 +430,22 @@ def _fig15_trials(scale: float) -> list[dict]:
 
 def _setup_run(params: dict, rng: np.random.Generator) -> dict:
     profile = _PROFILES[params["profile"]]
+    backend = params.get("backend", "sim")
     path_length = params["path_length"]
     row: dict = {"path_length": path_length}
-    onion = measure_onion_setup(profile, path_length, seed=spawn_seed(rng))
+    parity: dict = {"path_length": path_length}
+    onion = measure_onion_setup(
+        profile, path_length, seed=spawn_seed(rng), backend=backend
+    )
     row["onion_seconds"] = onion.setup_seconds
+    parity["onion"] = onion.parity_fields()
     for d in params["split_factors"]:
         result = measure_slicing_setup(
-            profile, path_length, d=d, seed=spawn_seed(rng)
+            profile, path_length, d=d, seed=spawn_seed(rng), backend=backend
         )
         row[f"slicing_d{d}_seconds"] = result.setup_seconds
+        parity[f"slicing_d{d}"] = result.parity_fields()
+    row["parity"] = parity
     return row
 
 
@@ -434,6 +455,7 @@ register(
         title="Fig. 14: LAN route-setup latency vs. path length and split factor",
         build_trials=_fig14_trials,
         run_trial=_setup_run,
+        backends=("sim", "aio"),
     )
 )
 
@@ -443,6 +465,7 @@ register(
         title="Fig. 15: PlanetLab route-setup latency vs. path length and split factor",
         build_trials=_fig15_trials,
         run_trial=_setup_run,
+        backends=("sim", "aio"),
     )
 )
 

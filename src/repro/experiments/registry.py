@@ -42,6 +42,10 @@ class Experiment:
     #: False for wall-clock measurements (timings differ per run/machine);
     #: the runner never serves cached artifacts for those.
     deterministic: bool = True
+    #: Overlay transport backends this experiment can run on.  Experiments
+    #: that drive the overlay substrate (figs. 11-15) also accept ``"aio"``;
+    #: everything else is simulator-only and rejects ``--backend aio``.
+    backends: tuple[str, ...] = ("sim",)
 
     def rows(self, trials: list[dict], results: list[dict]) -> list[dict]:
         """Reduce per-trial results (in trial order) to plottable rows."""

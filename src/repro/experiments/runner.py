@@ -62,6 +62,7 @@ class RunResult:
     artifact: Path | None
     cached: bool
     elapsed_seconds: float
+    backend: str = "sim"
 
 
 def run_experiment(
@@ -71,26 +72,45 @@ def run_experiment(
     seed: int | None = None,
     out_dir: str | Path | None = None,
     force: bool = False,
+    backend: str = "sim",
 ) -> RunResult:
     """Run (or load from cache) one registered experiment.
 
     ``out_dir=None`` keeps everything in memory; passing a directory enables
     both artifact writing and cache lookups.  ``force=True`` ignores an
-    existing artifact and recomputes.
+    existing artifact and recomputes.  ``backend`` selects the overlay
+    transport for experiments that support more than the simulator (the
+    figs. 11-15 family); runs on a non-default backend are never served from
+    cache — their timing fields are wall-clock-dependent.
     """
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     experiment = get_experiment(name)
+    if backend not in experiment.backends:
+        supported = ", ".join(experiment.backends)
+        raise ValueError(
+            f"experiment {name!r} does not support backend {backend!r} "
+            f"(supported: {supported})"
+        )
     seed = experiment.base_seed if seed is None else int(seed)
     started = time.perf_counter()
     trials = _jsonify(experiment.build_trials(scale))
+    if len(experiment.backends) > 1:
+        # Backend-capable experiments carry the backend in every trial, so
+        # it reaches run_trial in workers and keys the artifact cache.
+        trials = [{**params, "backend": backend} for params in trials]
+    cacheable = experiment.deterministic and backend == "sim"
 
     artifact = None if out_dir is None else Path(out_dir) / f"{name}.json"
-    if artifact is not None and not force and experiment.deterministic:
+    if artifact is not None and not force and cacheable:
         cached = _load_cached_document(artifact, name, scale, seed, trials)
         if cached is not None:
+            # The parity mirror must track the served rows even when the
+            # main artifact is a cache hit (it may have been deleted or
+            # predate the current layout).
+            _write_parity_artifact(artifact, experiment, scale, seed, cached["rows"])
             return RunResult(
                 name=name,
                 scale=scale,
@@ -101,6 +121,7 @@ def run_experiment(
                 artifact=artifact,
                 cached=True,
                 elapsed_seconds=time.perf_counter() - started,
+                backend=backend,
             )
 
     results = _run_trials(experiment, trials, seed, workers)
@@ -108,6 +129,7 @@ def run_experiment(
 
     if artifact is not None:
         _write_artifact(artifact, experiment, scale, seed, trials, rows)
+        _write_parity_artifact(artifact, experiment, scale, seed, rows)
     return RunResult(
         name=name,
         scale=scale,
@@ -118,6 +140,7 @@ def run_experiment(
         artifact=artifact,
         cached=False,
         elapsed_seconds=time.perf_counter() - started,
+        backend=backend,
     )
 
 
@@ -187,6 +210,14 @@ def serialise_artifact(document: dict) -> str:
     return json.dumps(document, indent=2, separators=(",", ": ")) + "\n"
 
 
+def _atomic_write_json(path: Path, document: dict) -> None:
+    """Canonically serialise and atomically replace ``path``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(serialise_artifact(document), encoding="utf-8")
+    tmp.replace(path)
+
+
 def _write_artifact(
     artifact: Path,
     experiment: Experiment,
@@ -195,13 +226,30 @@ def _write_artifact(
     trials: list[dict],
     rows: list[dict],
 ) -> None:
-    artifact.parent.mkdir(parents=True, exist_ok=True)
-    payload = serialise_artifact(
-        _artifact_document(experiment, scale, seed, trials, rows)
-    )
-    tmp = artifact.with_name(f".{artifact.name}.{os.getpid()}.tmp")
-    tmp.write_text(payload, encoding="utf-8")
-    tmp.replace(artifact)
+    _atomic_write_json(artifact, _artifact_document(experiment, scale, seed, trials, rows))
+
+
+def _write_parity_artifact(
+    artifact: Path, experiment: Experiment, scale: float, seed: int, rows: list[dict]
+) -> None:
+    """Mirror the rows' ``parity`` sub-dicts into ``<name>.parity.json``.
+
+    The parity document deliberately carries *no* backend or timing fields:
+    for a given (experiment, scale, seed) it must serialise to identical
+    bytes no matter which overlay backend computed it, which is exactly what
+    the CI ``aio-parity`` job ``cmp``-checks.
+    """
+    parity_rows = [row["parity"] for row in rows if isinstance(row, dict) and "parity" in row]
+    if not parity_rows:
+        return
+    document = {
+        "version": ARTIFACT_VERSION,
+        "experiment": experiment.name,
+        "scale": scale,
+        "seed": seed,
+        "rows": parity_rows,
+    }
+    _atomic_write_json(artifact.with_name(f"{artifact.stem}.parity.json"), document)
 
 
 def _load_cached_document(

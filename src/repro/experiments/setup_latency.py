@@ -22,7 +22,7 @@ per-scheme construction with the throughput driver
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..overlay.profiles import OverlayProfile
 from .throughput import PROTOCOL_LABELS, prepare_scheme_transfer
@@ -30,10 +30,31 @@ from .throughput import PROTOCOL_LABELS, prepare_scheme_transfer
 
 @dataclass(frozen=True)
 class SetupLatencyResult:
+    """Route-setup measurement plus its structural (backend-parity) fields.
+
+    ``setup_seconds`` is clock-dependent; ``setup_complete``,
+    ``relays_decoded`` and the counters are identical between the ``sim``
+    and ``aio`` backends under a shared seed (on profiles where setup beats
+    the flush timeout).
+    """
+
     protocol: str
     path_length: int
     d: int
     setup_seconds: float
+    setup_complete: bool = True
+    relays_decoded: int = 0
+    relay_counters: dict = field(default_factory=dict)
+    net_counters: dict = field(default_factory=dict)
+
+    def parity_fields(self) -> dict:
+        """The structural fields asserted identical across backends."""
+        return {
+            "complete": self.setup_complete,
+            "relays_decoded": self.relays_decoded,
+            "relay": dict(self.relay_counters),
+            "net": dict(self.net_counters),
+        }
 
 
 def measure_setup(
@@ -44,26 +65,35 @@ def measure_setup(
     d_prime: int | None = None,
     seed: int = 17,
     data_plane: str = "batched",
+    backend: str = "sim",
 ) -> SetupLatencyResult:
     """Unified driver: time one scheme's route establishment on a profile."""
     d_prime = d if d_prime is None else d_prime
     substrate, runtime, relays, destination = prepare_scheme_transfer(
-        scheme, profile, path_length, d, d_prime, seed, data_plane
+        scheme, profile, path_length, d, d_prime, seed, data_plane, backend
     )
-    start = substrate.sim.now
-    runtime.establish(relays, destination)
-    substrate.sim.run()
-    setup_seconds = runtime.setup_seconds()
-    if setup_seconds is None:
-        # Setup did not finish (should not happen without churn); report the
-        # time the simulation drained as an upper bound.
-        setup_seconds = substrate.sim.now - start
-    return SetupLatencyResult(
-        protocol=PROTOCOL_LABELS.get(scheme, scheme),
-        path_length=path_length,
-        d=d,
-        setup_seconds=setup_seconds,
-    )
+    try:
+        start = substrate.sim.now
+        runtime.establish(relays, destination)
+        substrate.sim.run()
+        setup_seconds = runtime.setup_seconds()
+        setup_complete = setup_seconds is not None
+        if setup_seconds is None:
+            # Setup did not finish (should not happen without churn); report the
+            # time the simulation drained as an upper bound.
+            setup_seconds = substrate.sim.now - start
+        return SetupLatencyResult(
+            protocol=PROTOCOL_LABELS.get(scheme, scheme),
+            path_length=path_length,
+            d=d,
+            setup_seconds=setup_seconds,
+            setup_complete=setup_complete,
+            relays_decoded=len(runtime.progress.relay_decode_times),
+            relay_counters=runtime.relay_counters(),
+            net_counters=runtime.network_counters(),
+        )
+    finally:
+        substrate.close()
 
 
 def measure_slicing_setup(
@@ -72,18 +102,19 @@ def measure_slicing_setup(
     d: int,
     d_prime: int | None = None,
     seed: int = 17,
+    backend: str = "sim",
 ) -> SetupLatencyResult:
     """Time to establish one information-slicing forwarding graph."""
     return measure_setup(
-        "slicing", profile, path_length, d=d, d_prime=d_prime, seed=seed
+        "slicing", profile, path_length, d=d, d_prime=d_prime, seed=seed, backend=backend
     )
 
 
 def measure_onion_setup(
-    profile: OverlayProfile, path_length: int, seed: int = 19
+    profile: OverlayProfile, path_length: int, seed: int = 19, backend: str = "sim"
 ) -> SetupLatencyResult:
     """Time to build one onion circuit of ``path_length`` relays."""
-    return measure_setup("onion", profile, path_length, seed=seed)
+    return measure_setup("onion", profile, path_length, seed=seed, backend=backend)
 
 
 def setup_latency_sweep(

@@ -14,14 +14,19 @@ layer, one connection per hop).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..overlay.node import SimulatedOverlayNetwork, SlicingRuntime
-from ..overlay.profiles import OverlayProfile
-from ..overlay.runtime import ProtocolRuntime, build_runtime
 from ..core.source import Source
+from ..overlay.node import OverlayTransport, SlicingRuntime
+from ..overlay.profiles import OverlayProfile
+from ..overlay.runtime import (
+    ProtocolRuntime,
+    aggregate_relay_stats,
+    build_runtime,
+    build_substrate,
+)
 
 #: Per-connection capacity (bits/s) of the prototype's transport on a LAN —
 #: what a single user-space relayed TCP connection sustains.
@@ -45,7 +50,15 @@ def connection_bps_for(profile: OverlayProfile) -> float:
 
 @dataclass(frozen=True)
 class ThroughputResult:
-    """Measured throughput of one simulated transfer."""
+    """Measured throughput of one simulated transfer.
+
+    The timing-derived fields (``throughput_bps``, ``duration_seconds``)
+    depend on the backend's clock; the structural fields
+    (``messages_delivered``, ``delivered_digest``, ``relay_counters``,
+    ``net_counters``) are the backend-parity surface — identical between the
+    ``sim`` and ``aio`` backends under a shared seed on profiles where the
+    transfer settles inside the flush timeout.
+    """
 
     protocol: str
     path_length: int
@@ -54,6 +67,18 @@ class ThroughputResult:
     throughput_bps: float
     messages_delivered: int
     duration_seconds: float
+    delivered_digest: str = ""
+    relay_counters: dict = field(default_factory=dict)
+    net_counters: dict = field(default_factory=dict)
+
+    def parity_fields(self) -> dict:
+        """The structural fields asserted identical across backends."""
+        return {
+            "delivered": self.messages_delivered,
+            "digest": self.delivered_digest,
+            "relay": dict(self.relay_counters),
+            "net": dict(self.net_counters),
+        }
 
 
 def _addresses(prefix: str, count: int) -> list[str]:
@@ -68,11 +93,15 @@ def prepare_scheme_transfer(
     d_prime: int,
     seed: int,
     data_plane: str,
-) -> tuple[SimulatedOverlayNetwork, ProtocolRuntime, list[str], str]:
+    backend: str = "sim",
+) -> tuple[OverlayTransport, ProtocolRuntime, list[str], str]:
     """Build the substrate, runtime, relay pool and destination for one scheme.
 
     Shared by the throughput and setup-latency drivers, so the per-scheme
     address plan and runtime construction live in exactly one place.
+    ``backend`` selects the transport: ``"sim"`` (discrete-event) or
+    ``"aio"`` (asyncio localhost TCP); the aio backend requires the batched
+    data plane, which is the default.
     """
     rng = np.random.default_rng(seed)
     if scheme == "slicing":
@@ -93,8 +122,8 @@ def prepare_scheme_transfer(
     else:
         raise KeyError(f"unknown throughput scheme {scheme!r}")
     network = profile.build_network(all_addresses, rng)
-    substrate = SimulatedOverlayNetwork(
-        network, connection_bps=connection_bps_for(profile)
+    substrate = build_substrate(
+        backend, network, connection_bps=connection_bps_for(profile)
     )
     if scheme == "slicing":
         runtime = build_runtime(
@@ -139,6 +168,7 @@ def measure_throughput(
     message_bytes: int = 1500,
     seed: int = 42,
     data_plane: str = "batched",
+    backend: str = "sim",
 ) -> ThroughputResult:
     """Drive one transfer of any registered scheme and measure delivered goodput.
 
@@ -148,27 +178,33 @@ def measure_throughput(
     """
     d_prime = d if d_prime is None else d_prime
     substrate, runtime, relays, destination = prepare_scheme_transfer(
-        scheme, profile, path_length, d, d_prime, seed, data_plane
+        scheme, profile, path_length, d, d_prime, seed, data_plane, backend
     )
-    progress = runtime.establish(relays, destination)
-    substrate.sim.run()
-    transfer_start = substrate.sim.now
-    payload = bytes(message_bytes)
-    runtime.send_messages([payload] * num_messages)
-    substrate.sim.run()
-    delivered = len(progress.delivered_messages)
-    last = progress.last_delivery_at or transfer_start
-    duration = max(last - transfer_start, 1e-9)
-    throughput = progress.delivered_bytes * 8.0 / duration
-    return ThroughputResult(
-        protocol=PROTOCOL_LABELS.get(scheme, scheme),
-        path_length=path_length,
-        d=d,
-        d_prime=d_prime,
-        throughput_bps=throughput,
-        messages_delivered=delivered,
-        duration_seconds=duration,
-    )
+    try:
+        progress = runtime.establish(relays, destination)
+        substrate.sim.run()
+        transfer_start = substrate.sim.now
+        payload = bytes(message_bytes)
+        runtime.send_messages([payload] * num_messages)
+        substrate.sim.run()
+        delivered = len(progress.delivered_messages)
+        last = progress.last_delivery_at or transfer_start
+        duration = max(last - transfer_start, 1e-9)
+        throughput = progress.delivered_bytes * 8.0 / duration
+        return ThroughputResult(
+            protocol=PROTOCOL_LABELS.get(scheme, scheme),
+            path_length=path_length,
+            d=d,
+            d_prime=d_prime,
+            throughput_bps=throughput,
+            messages_delivered=delivered,
+            duration_seconds=duration,
+            delivered_digest=runtime.delivered_digest(),
+            relay_counters=runtime.relay_counters(),
+            net_counters=runtime.network_counters(),
+        )
+    finally:
+        substrate.close()
 
 
 def measure_slicing_throughput(
@@ -180,6 +216,7 @@ def measure_slicing_throughput(
     message_bytes: int = 1500,
     seed: int = 42,
     data_plane: str = "batched",
+    backend: str = "sim",
 ) -> ThroughputResult:
     """Drive one information-slicing flow and measure delivered goodput."""
     return measure_throughput(
@@ -192,6 +229,7 @@ def measure_slicing_throughput(
         message_bytes=message_bytes,
         seed=seed,
         data_plane=data_plane,
+        backend=backend,
     )
 
 
@@ -201,6 +239,7 @@ def measure_onion_throughput(
     num_messages: int = 300,
     message_bytes: int = 1500,
     seed: int = 43,
+    backend: str = "sim",
 ) -> ThroughputResult:
     """Drive an onion-routing transfer over the same substrate.
 
@@ -217,6 +256,7 @@ def measure_onion_throughput(
         num_messages=num_messages,
         message_bytes=message_bytes,
         seed=seed,
+        backend=backend,
     )
 
 
@@ -268,6 +308,7 @@ def aggregate_throughput_vs_flows(
     message_bytes: int = 1500,
     seed: int = 9,
     data_plane: str = "batched",
+    backend: str = "sim",
 ) -> list[dict]:
     """Fig. 13: aggregate network throughput as concurrent flows increase.
 
@@ -290,42 +331,64 @@ def aggregate_throughput_vs_flows(
             + destinations
         )
         network = profile.build_network(all_addresses, rng)
-        substrate = SimulatedOverlayNetwork(
-            network, connection_bps=connection_bps_for(profile)
+        substrate = build_substrate(
+            backend, network, connection_bps=connection_bps_for(profile)
         )
-        runtime = SlicingRuntime(
-            substrate, rng=np.random.default_rng(seed + 1), data_plane=data_plane
-        )
-        total_bytes = 0
-        progresses = []
-        start = substrate.sim.now
-        payload = bytes(message_bytes)
-        for flow_index in range(flow_count):
-            source = Source(
-                source_stages[flow_index][0],
-                source_stages[flow_index][1:],
-                d=d,
-                d_prime=d_prime,
-                path_length=path_length,
-                rng=np.random.default_rng(seed + 31 * flow_index),
+        try:
+            runtime = SlicingRuntime(
+                substrate, rng=np.random.default_rng(seed + 1), data_plane=data_plane
             )
-            flow = source.establish_flow(overlay_nodes, destinations[flow_index])
-            progress = runtime.start_flow(source, flow)
-            progresses.append(progress)
-            runtime.send_messages(source, flow, [payload] * num_messages)
-        substrate.sim.run()
-        end = max(
-            [p.last_delivery_at for p in progresses if p.last_delivery_at] or [start]
-        )
-        total_bytes = sum(p.delivered_bytes for p in progresses)
-        duration = max(end - start, 1e-9)
-        rows.append(
-            {
-                "flows": flow_count,
-                "network_throughput_mbps": total_bytes * 8.0 / duration / 1e6,
-                "messages_delivered": sum(
-                    len(p.delivered_messages) for p in progresses
-                ),
-            }
-        )
+            total_bytes = 0
+            flows = []
+            progresses = []
+            start = substrate.sim.now
+            payload = bytes(message_bytes)
+            for flow_index in range(flow_count):
+                source = Source(
+                    source_stages[flow_index][0],
+                    source_stages[flow_index][1:],
+                    d=d,
+                    d_prime=d_prime,
+                    path_length=path_length,
+                    rng=np.random.default_rng(seed + 31 * flow_index),
+                )
+                flow = source.establish_flow(overlay_nodes, destinations[flow_index])
+                progress = runtime.start_flow(source, flow)
+                flows.append(flow)
+                progresses.append(progress)
+                runtime.send_messages(source, flow, [payload] * num_messages)
+            substrate.sim.run()
+            end = max(
+                [p.last_delivery_at for p in progresses if p.last_delivery_at] or [start]
+            )
+            total_bytes = sum(p.delivered_bytes for p in progresses)
+            duration = max(end - start, 1e-9)
+            delivered_per_flow = []
+            for flow, destination in zip(flows, destinations):
+                relay = runtime.relays.get(destination)
+                flow_id = flow.plan.flow_ids[destination]
+                delivered_per_flow.append(
+                    len(relay.delivered_messages(flow_id)) if relay else 0
+                )
+            rows.append(
+                {
+                    "flows": flow_count,
+                    "network_throughput_mbps": total_bytes * 8.0 / duration / 1e6,
+                    "messages_delivered": sum(
+                        len(p.delivered_messages) for p in progresses
+                    ),
+                    "parity": {
+                        "flows": flow_count,
+                        "delivered_per_flow": delivered_per_flow,
+                        "relay": aggregate_relay_stats(runtime.relays.values()),
+                        "net": {
+                            "packets_sent": substrate.stats.packets_sent,
+                            "packets_dropped": substrate.stats.packets_dropped,
+                            "bytes_sent": substrate.stats.bytes_sent,
+                        },
+                    },
+                }
+            )
+        finally:
+            substrate.close()
     return rows

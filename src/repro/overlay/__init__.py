@@ -1,5 +1,6 @@
 """Overlay substrates: local in-memory overlay, discrete-event simulator,
-churn models, latency/load profiles, and AS-aware relay selection."""
+asyncio socket backend, churn models, latency/load profiles, and AS-aware
+relay selection."""
 
 from .address import ASDatabase, Prefix, assign_overlay_addresses, generate_as_database
 from .churn import PLANETLAB_CHURN, STABLE_CHURN, ChurnModel
@@ -13,14 +14,17 @@ from .network import (
 from .node import (
     DEFAULT_PER_PACKET_OVERHEAD,
     FlowProgress,
+    OverlayTransport,
     SimulatedOverlayNetwork,
     SlicingRuntime,
 )
 from .profiles import LAN_PROFILE, PLANETLAB_PROFILE, PROFILES, OverlayProfile, get_profile
 from .runtime import (
+    SUBSTRATE_BACKENDS,
     ProtocolRuntime,
     SlicingProtocolRuntime,
     build_runtime,
+    build_substrate,
     register_runtime,
     runtime_schemes,
 )
@@ -41,12 +45,15 @@ __all__ = [
     "NodeResources",
     "uniform_network",
     "heterogeneous_network",
+    "OverlayTransport",
     "SimulatedOverlayNetwork",
     "SlicingRuntime",
     "FlowProgress",
     "ProtocolRuntime",
     "SlicingProtocolRuntime",
     "build_runtime",
+    "build_substrate",
+    "SUBSTRATE_BACKENDS",
     "register_runtime",
     "runtime_schemes",
     "DEFAULT_PER_PACKET_OVERHEAD",

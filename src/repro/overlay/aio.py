@@ -1,0 +1,595 @@
+"""Asyncio socket overlay backend: the same transport surface, real TCP.
+
+The discrete-event backend (:class:`~repro.overlay.node.SimulatedOverlayNetwork`)
+delivers packets by invoking callbacks on a virtual clock.  This module
+implements the *same* transport surface — :meth:`transmit_packets` /
+:meth:`transmit_blobs` / :meth:`transmit_blob`, per-node CPU accounting,
+keyed event coalescing — over localhost TCP streams, so
+:class:`~repro.overlay.node.SlicingRuntime` and the onion runtimes in
+:mod:`repro.baselines.runtime` run unchanged on either backend.
+
+How the two clocks relate
+-------------------------
+Virtual time still exists here: every burst is accounted with the exact
+arithmetic of the simulator (sender CPU queue, per-connection FIFO
+serialisation, propagation delay — see
+:meth:`~repro.overlay.node.OverlayTransport._account_batch`), and the
+resulting virtual arrival instants ride along with the frames.  What changes
+is *transport and scheduling*: frames really are serialised
+(length-prefixed :meth:`Packet.to_bytes <repro.core.packet.Packet.to_bytes>`),
+really cross a socket, and are parsed back on the receiving side, whose
+relay engines are driven from that address's own asyncio reader task.
+
+Timer events (CPU completions, flush timeouts) are kept on a virtual-time
+heap and fired in virtual order whenever the data plane is *quiescent* (no
+frame in flight, nothing unread).  On profiles where the simulator's flush
+timers fire after the transfer has settled — the LAN figures — this makes
+delivered plaintexts and relay counters bit-identical to the simulator;
+wall-clock-dependent timing fields are not comparable by value.  See
+``docs/ARCHITECTURE.md`` ("Overlay backends") for the exact contract.
+
+Wire format
+-----------
+Every message on a connection is a *frame*: a 4-byte big-endian length
+followed by that many payload bytes (:func:`encode_frame` /
+:func:`decode_frames`).  A connection opens with a hello frame
+(``sender\\x00receiver``), then carries batches: one batch-header frame
+(``>QI``: batch id, frame count) followed by the batch's payload frames —
+serialised :class:`~repro.core.packet.Packet` bytes for the slicing data
+plane, opaque onion cells for the baselines.  Frames larger than
+:data:`MAX_FRAME_BYTES` are rejected, as are truncated frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import struct
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.errors import PacketFormatError, SimulationError
+from ..core.packet import Packet
+from .network import NetworkModel
+from .node import DEFAULT_PER_PACKET_OVERHEAD, OverlayTransport
+from .simulator import EventSimulator
+
+#: Length prefix of every frame on the wire.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Batch header payload: (batch id, number of payload frames that follow).
+BATCH_HEADER = struct.Struct(">QI")
+
+#: Upper bound on a single frame's payload; anything larger is a protocol
+#: error (slicing packets are a few KiB even at large split factors).
+MAX_FRAME_BYTES = 1 << 22
+
+#: Wall-clock seconds the backend may sit non-quiescent with no delivery
+#: progress before it declares itself wedged instead of hanging CI.
+DEFAULT_STALL_TIMEOUT = 60.0
+
+
+# -- framing ------------------------------------------------------------------------
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Length-prefix ``payload`` for the wire."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise PacketFormatError(
+            f"frame payload of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+def decode_frames(data: bytes) -> list[bytes]:
+    """Split a byte string into exact frames; reject truncated or oversized ones.
+
+    The incremental socket path reads frame by frame; this strict batch form
+    is the reference the property tests exercise: the buffer must contain a
+    whole number of well-formed frames.
+    """
+    frames: list[bytes] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < FRAME_HEADER.size:
+            raise PacketFormatError("truncated frame header")
+        (length,) = FRAME_HEADER.unpack_from(data, offset)
+        if length > MAX_FRAME_BYTES:
+            raise PacketFormatError(
+                f"frame declares {length} bytes, over the {MAX_FRAME_BYTES}-byte limit"
+            )
+        offset += FRAME_HEADER.size
+        if total - offset < length:
+            raise PacketFormatError("truncated frame payload")
+        frames.append(data[offset : offset + length])
+        offset += length
+    return frames
+
+
+async def read_frame(reader: asyncio.StreamReader, strict: bool = False) -> bytes | None:
+    """Read one frame from a stream; ``None`` on a clean EOF between frames.
+
+    With ``strict`` (mid-batch reads, where a frame *must* follow) EOF is a
+    protocol error too.
+    """
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial or strict:
+            raise PacketFormatError("truncated frame header") from None
+        return None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise PacketFormatError(
+            f"frame declares {length} bytes, over the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise PacketFormatError("truncated frame payload") from None
+
+
+# -- the virtual clock --------------------------------------------------------------
+
+
+class AioClock(EventSimulator):
+    """The simulator's scheduling surface, drained by the asyncio backend.
+
+    ``schedule`` / ``schedule_at`` / ``schedule_keyed`` behave exactly as on
+    :class:`~repro.overlay.simulator.EventSimulator` (same heap, same
+    deterministic tie-breaking); only :meth:`run` differs — it hands control
+    to the owning :class:`AioOverlayNetwork`, which interleaves heap events
+    with real socket traffic.
+    """
+
+    def __init__(self, substrate: "AioOverlayNetwork") -> None:
+        super().__init__()
+        self._substrate = substrate
+
+    def advance(self, time: float) -> None:
+        """Move the virtual clock forward (never backwards)."""
+        if time > self.now:
+            self.now = time
+
+    def next_event(self, until: float | None = None):
+        """Pop the earliest live event, or ``None`` (heap drained / past ``until``)."""
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                return None
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            return event
+        return None
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        return self._substrate.drive(until=until, max_events=max_events)
+
+
+@dataclass
+class _PendingBatch:
+    """Sender-side record of a batch in flight, resolved when frames land."""
+
+    kind: str  # "packets" | "blobs" | "blob"
+    deliver: Callable
+    arrivals: list[float]
+    submitted_at: float
+
+
+# -- the backend --------------------------------------------------------------------
+
+
+class AioOverlayNetwork(OverlayTransport):
+    """Overlay transport over asyncio TCP streams on localhost.
+
+    Parameters
+    ----------
+    network, connection_bps, per_packet_overhead:
+        Same meaning as on the simulated backend; they feed the shared
+        virtual-time accounting.
+    pace:
+        Wall-clock seconds per *virtual* second of link delay: each batch's
+        delivery is delayed by ``pace`` times its virtual (serialisation +
+        propagation) span, so the per-link shaping of a
+        :class:`~repro.overlay.profiles.OverlayProfile` is mirrored in real
+        time.  The default 0.0 delivers as fast as the sockets allow.
+    stall_timeout:
+        Wall-clock watchdog: if the data plane stops making progress for this
+        long while work is outstanding, :meth:`drive` raises instead of
+        hanging.
+    """
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        connection_bps: float,
+        per_packet_overhead: float = DEFAULT_PER_PACKET_OVERHEAD,
+        pace: float = 0.0,
+        stall_timeout: float = DEFAULT_STALL_TIMEOUT,
+    ) -> None:
+        super().__init__(network, connection_bps, per_packet_overhead)
+        if pace < 0:
+            raise SimulationError(f"pace must be >= 0, got {pace}")
+        self.pace = pace
+        self.stall_timeout = stall_timeout
+        self.sim = AioClock(self)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server_tasks: dict[str, asyncio.Task] = {}
+        self._writer_tasks: dict[tuple[str, str], asyncio.Task] = {}
+        self._send_tasks: set[asyncio.Task] = set()
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._handler_writers: set[asyncio.StreamWriter] = set()
+        self._pending: dict[int, _PendingBatch] = {}
+        self._outbox: list[tuple[str, str, int, list[bytes]]] = []
+        self._inflight = 0
+        self._pacing = 0
+        self._idle = asyncio.Event()
+        self._failure: BaseException | None = None
+        self._batch_ids = itertools.count(1)
+        self._closed = False
+
+    # -- payload-carrying transmit surface ----------------------------------------
+
+    def transmit_packets(
+        self,
+        sender: str,
+        receiver: str,
+        packets: list[Packet],
+        deliver: Callable[[list[Packet], list[float]], None],
+        sender_cpu_seconds: Sequence[float] | None = None,
+    ) -> None:
+        self._submit(
+            sender,
+            receiver,
+            [packet.to_bytes() for packet in packets],
+            [packet.size_bytes() for packet in packets],
+            self._normalise_cpus(len(packets), sender_cpu_seconds),
+            kind="packets",
+            deliver=deliver,
+        )
+
+    def transmit_blobs(
+        self,
+        sender: str,
+        receiver: str,
+        blobs: list[bytes],
+        deliver: Callable[[list[bytes], list[float]], None],
+        sender_cpu_seconds: Sequence[float] | None = None,
+    ) -> None:
+        self._submit(
+            sender,
+            receiver,
+            list(blobs),
+            [len(blob) for blob in blobs],
+            self._normalise_cpus(len(blobs), sender_cpu_seconds),
+            kind="blobs",
+            deliver=deliver,
+        )
+
+    def transmit_blob(
+        self,
+        sender: str,
+        receiver: str,
+        blob: bytes,
+        deliver: Callable[[bytes], None],
+        sender_cpu_seconds: float = 0.0,
+    ) -> None:
+        self._submit(
+            sender,
+            receiver,
+            [blob],
+            [len(blob)],
+            [sender_cpu_seconds],
+            kind="blob",
+            deliver=deliver,
+        )
+
+    # The size-only callback API cannot cross a real socket: there is no
+    # payload to frame.  The batched data plane and the baseline runtimes all
+    # ship through the payload-carrying surface instead.
+
+    def transmit(self, *args, **kwargs) -> None:
+        raise SimulationError(
+            "the aio backend has no size-only transmit(); use the payload-carrying "
+            "surface (for SlicingRuntime this means data_plane='batched')"
+        )
+
+    def transmit_batch(self, *args, **kwargs) -> None:
+        raise SimulationError(
+            "the aio backend has no size-only transmit_batch(); use transmit_packets()/"
+            "transmit_blobs() (for SlicingRuntime this means data_plane='batched')"
+        )
+
+    def _submit(
+        self,
+        sender: str,
+        receiver: str,
+        frames: list[bytes],
+        sizes: list[int],
+        cpus: list[float],
+        kind: str,
+        deliver: Callable,
+    ) -> None:
+        if self._closed:
+            raise SimulationError("aio backend is closed")
+        if not frames:
+            return
+        if not self.is_alive(sender):
+            self.stats.packets_dropped += len(frames)
+            return
+        arrivals = self._account_batch(sender, receiver, sizes, cpus)
+        batch_id = next(self._batch_ids)
+        self._pending[batch_id] = _PendingBatch(
+            kind=kind, deliver=deliver, arrivals=arrivals, submitted_at=self.sim.now
+        )
+        self._outbox.append((sender, receiver, batch_id, frames))
+        self._inflight += 1
+
+    # -- driving ------------------------------------------------------------------
+
+    def drive(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Drain the data plane and the timer heap; returns the virtual time.
+
+        This is what ``substrate.sim.run()`` resolves to on this backend:
+        socket traffic is pumped until quiescent, then the earliest pending
+        timer (CPU completion, flush timeout) fires in virtual order, and the
+        cycle repeats until nothing is left.
+        """
+        loop = self._ensure_loop()
+        if loop.is_running():
+            raise SimulationError("drive() re-entered from within the event loop")
+        return loop.run_until_complete(self._drain(until, max_events))
+
+    async def _drain(self, until: float | None, max_events: int) -> float:
+        clock = self.sim
+        processed = 0
+        while True:
+            await self._quiesce()
+            event = clock.next_event(until)
+            if event is None:
+                break
+            processed += 1
+            if processed > max_events:
+                raise SimulationError("event budget exceeded; possible livelock")
+            clock.advance(event.time)
+            clock.events_processed += 1
+            event.callback()
+        if until is not None:
+            clock.advance(until)
+        return clock.now
+
+    async def _quiesce(self) -> None:
+        """Wait until no frame is in flight and nothing is queued to send."""
+        while True:
+            if self._failure is not None:
+                failure, self._failure = self._failure, None
+                raise failure
+            if self._outbox:
+                self._flush_outbox()
+            if self._inflight == 0 and not self._outbox:
+                return
+            self._idle.clear()
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=self.stall_timeout)
+            except asyncio.TimeoutError:
+                if self._pacing:
+                    continue  # deliveries are sleeping in pace shaping, not wedged
+                raise SimulationError(
+                    f"aio backend stalled: {self._inflight} batch(es) in flight made "
+                    f"no progress for {self.stall_timeout}s"
+                ) from None
+
+    def _flush_outbox(self) -> None:
+        outbox, self._outbox = self._outbox, []
+        for sender, receiver, batch_id, frames in outbox:
+            task = self._loop.create_task(
+                self._send_batch(sender, receiver, batch_id, frames)
+            )
+            self._send_tasks.add(task)
+            task.add_done_callback(self._send_tasks.discard)
+
+    # -- sender side --------------------------------------------------------------
+
+    async def _send_batch(
+        self, sender: str, receiver: str, batch_id: int, frames: list[bytes]
+    ) -> None:
+        try:
+            writer = await self._connection(sender, receiver)
+            writer.write(encode_frame(BATCH_HEADER.pack(batch_id, len(frames))))
+            for frame in frames:
+                writer.write(encode_frame(frame))
+            await writer.drain()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: B036 - must not strand _quiesce
+            self._fail(exc)
+
+    async def _connection(self, sender: str, receiver: str) -> asyncio.StreamWriter:
+        key = (sender, receiver)
+        task = self._writer_tasks.get(key)
+        if task is None:
+            # Memoised as a task so concurrent batches for a new connection
+            # share one dial; TCP then keeps per-connection FIFO order, like
+            # the simulator's per-connection link queue.
+            task = self._loop.create_task(self._open_connection(sender, receiver))
+            self._writer_tasks[key] = task
+        return await task
+
+    async def _open_connection(self, sender: str, receiver: str) -> asyncio.StreamWriter:
+        server = await self._ensure_server(receiver)
+        port = server.sockets[0].getsockname()[1]
+        _reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(encode_frame(f"{sender}\x00{receiver}".encode()))
+        await writer.drain()
+        return writer
+
+    async def _ensure_server(self, address: str):
+        # Memoised as a task (like _connection): two senders dialling the
+        # same receiver concurrently must share one listening server, not
+        # race start_server and leak the loser.
+        task = self._server_tasks.get(address)
+        if task is None:
+            task = self._loop.create_task(
+                asyncio.start_server(self._handle_connection, host="127.0.0.1", port=0)
+            )
+            self._server_tasks[address] = task
+        return await task
+
+    # -- receiver side ------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One relay-side task per inbound connection: parse frames, deliver."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        self._handler_writers.add(writer)
+        try:
+            hello = await read_frame(reader)
+            if hello is None:
+                return
+            sender, _, receiver = hello.decode("utf-8").partition("\x00")
+            while True:
+                header = await read_frame(reader)
+                if header is None:
+                    break
+                batch_id, count = BATCH_HEADER.unpack(header)
+                frames = [await read_frame(reader, strict=True) for _ in range(count)]
+                batch = self._pending.pop(batch_id)
+                await self._deliver_batch(sender, receiver, frames, batch)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: B036 - must not strand _quiesce
+            self._fail(exc)
+        finally:
+            self._handler_writers.discard(writer)
+            writer.close()
+
+    async def _deliver_batch(
+        self, sender: str, receiver: str, frames: list[bytes], batch: _PendingBatch
+    ) -> None:
+        if self.pace:
+            delay = max(0.0, batch.arrivals[-1] - batch.submitted_at) * self.pace
+            if delay:
+                # A paced sleep is progress, not a stall — _quiesce's
+                # watchdog must keep waiting through it.
+                self._pacing += 1
+                try:
+                    await asyncio.sleep(delay)
+                finally:
+                    self._pacing -= 1
+        try:
+            # The virtual clock reaches the arrival instant whether or not
+            # the receiver is still alive — exactly like the simulator,
+            # whose deliver event advances `now` before the is_alive check.
+            self.sim.advance(batch.arrivals[-1])
+            if not self.is_alive(receiver):
+                self.stats.packets_dropped += len(frames)
+            else:
+                if batch.kind == "packets":
+                    packets = [
+                        Packet.from_bytes(
+                            frame, source_address=sender, destination_address=receiver
+                        )
+                        for frame in frames
+                    ]
+                    batch.deliver(packets, batch.arrivals)
+                elif batch.kind == "blobs":
+                    batch.deliver(frames, batch.arrivals)
+                else:
+                    batch.deliver(frames[0])
+        finally:
+            self._inflight -= 1
+            if self._outbox:
+                # The delivery callback transmitted; keep the plane moving.
+                self._flush_outbox()
+            if self._inflight == 0 and not self._outbox:
+                self._idle.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = exc
+        self._idle.set()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        if self._closed:
+            raise SimulationError("aio backend is closed")
+        if self._loop is None:
+            self._loop = asyncio.new_event_loop()
+        return self._loop
+
+    def close(self) -> None:
+        """Graceful teardown: close every stream, server and the loop."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = self._loop
+        self._loop = None
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.run_until_complete(self._shutdown())
+        finally:
+            loop.close()
+
+    async def _shutdown(self) -> None:
+        cancelled: list[asyncio.Task] = []
+        for task in list(self._send_tasks):
+            task.cancel()
+            cancelled.append(task)
+        writers: list[asyncio.StreamWriter] = []
+        for task in self._writer_tasks.values():
+            if task.done() and not task.cancelled() and task.exception() is None:
+                writers.append(task.result())
+            else:
+                task.cancel()
+                cancelled.append(task)
+        self._writer_tasks.clear()
+        for writer in writers:
+            writer.close()
+        for writer in writers:
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        servers = []
+        for task in self._server_tasks.values():
+            if task.done() and not task.cancelled() and task.exception() is None:
+                servers.append(task.result())
+            else:
+                task.cancel()
+                cancelled.append(task)
+        self._server_tasks.clear()
+        if cancelled:
+            # Deliver the CancelledErrors now; the loop closes right after
+            # _shutdown returns and must not see pending tasks.
+            await asyncio.gather(*cancelled, return_exceptions=True)
+        for server in servers:
+            server.close()
+        for server in servers:
+            await server.wait_closed()
+        # The per-connection reader tasks park in read_frame(); closing
+        # their transports wakes them with a clean EOF so they finish
+        # normally before the loop closes.  Cancellation is a last resort
+        # (a handler wedged inside a delivery callback).
+        for handler_writer in list(self._handler_writers):
+            handler_writer.close()
+        handlers = [task for task in self._handler_tasks if not task.done()]
+        if handlers:
+            _done, pending = await asyncio.wait(handlers, timeout=1.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+        self._handler_tasks.clear()
+        self._handler_writers.clear()
+        self._pending.clear()
+        self._outbox.clear()
+        self._inflight = 0

@@ -8,6 +8,11 @@ information-slicing adapter (:class:`SlicingRuntime`) wires the real
 :class:`~repro.core.relay.Relay` engines into this substrate; the onion
 baselines in :mod:`repro.baselines` provide their own adapters.
 
+The accounting and the payload-carrying transmit surface live on the
+:class:`OverlayTransport` base class, which the asyncio socket backend
+(:mod:`repro.overlay.aio`) also implements — the adapters run unchanged on
+either backend.
+
 Resource model
 --------------
 * every directed (sender, receiver) pair is a *connection* with a serialisation
@@ -112,24 +117,81 @@ class TransmissionStats:
     bytes_sent: int = 0
 
 
-class SimulatedOverlayNetwork:
-    """Shared transport substrate: connections, CPUs, failures."""
+class OverlayTransport:
+    """Accounting shared by every overlay backend: connections, CPUs, failures.
+
+    The virtual-time arithmetic (per-connection FIFO serialisation, per-node
+    CPU queues, drop-on-failure, aggregate counters) lives here so the
+    discrete-event backend (:class:`SimulatedOverlayNetwork`) and the asyncio
+    socket backend (:class:`~repro.overlay.aio.AioOverlayNetwork`) account
+    packets identically; only *how* a packet travels differs.  Subclasses
+    provide ``self.sim`` (an :class:`~repro.overlay.simulator.EventSimulator`
+    or a compatible clock) and the payload-carrying transmit surface.
+    """
+
+    sim: EventSimulator
 
     def __init__(
         self,
         network: NetworkModel,
         connection_bps: float,
         per_packet_overhead: float = DEFAULT_PER_PACKET_OVERHEAD,
-        simulator: EventSimulator | None = None,
     ) -> None:
         self.network = network
         self.connection_bps = connection_bps
         self.per_packet_overhead = per_packet_overhead
-        self.sim = EventSimulator() if simulator is None else simulator
         self.stats = TransmissionStats()
         self._link_free_at: dict[tuple[str, str], float] = {}
         self._cpu_free_at: dict[str, float] = {}
         self._failed_at: dict[str, float] = {}
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (sockets, loops); a no-op for the sim."""
+
+    def __enter__(self) -> "OverlayTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- payload-carrying transmit surface ----------------------------------------
+    #
+    # The protocol runtimes ship through these three calls only, so they run
+    # unchanged on any backend.  ``deliver`` receives the delivered payload
+    # objects: the simulator hands back the originals, the asyncio backend
+    # hands back what it parsed off the wire.
+
+    def transmit_packets(
+        self,
+        sender: str,
+        receiver: str,
+        packets: list[Packet],
+        deliver: Callable[[list[Packet], list[float]], None],
+        sender_cpu_seconds: Sequence[float] | None = None,
+    ) -> None:
+        raise NotImplementedError
+
+    def transmit_blobs(
+        self,
+        sender: str,
+        receiver: str,
+        blobs: list[bytes],
+        deliver: Callable[[list[bytes], list[float]], None],
+        sender_cpu_seconds: Sequence[float] | None = None,
+    ) -> None:
+        raise NotImplementedError
+
+    def transmit_blob(
+        self,
+        sender: str,
+        receiver: str,
+        blob: bytes,
+        deliver: Callable[[bytes], None],
+        sender_cpu_seconds: float = 0.0,
+    ) -> None:
+        raise NotImplementedError
 
     # -- failures ------------------------------------------------------------------
 
@@ -179,6 +241,67 @@ class SimulatedOverlayNetwork:
         dones = _queue_dones(free, starts, durations)
         self._cpu_free_at[address] = dones[-1]
         return dones
+
+    # -- shared batch arithmetic --------------------------------------------------------
+
+    def _normalise_cpus(
+        self, count: int, sender_cpu_seconds: Sequence[float] | None
+    ) -> list[float]:
+        """One CPU cost per packet, validated."""
+        if sender_cpu_seconds is None:
+            return [0.0] * count
+        cpus = list(sender_cpu_seconds)
+        if len(cpus) != count:
+            raise SimulationError(
+                "transmit_batch needs one CPU cost per packet "
+                f"({len(cpus)} costs for {count} packets)"
+            )
+        return cpus
+
+    def _account_batch(
+        self, sender: str, receiver: str, sizes: Sequence[int], cpus: Sequence[float]
+    ) -> list[float]:
+        """Reserve sender CPU and the connection for a burst; return arrivals.
+
+        This is the exact per-packet arithmetic of the per-packet path — each
+        packet queues on the sender CPU (its cost plus the fixed per-packet
+        overhead), serialises on the (sender, receiver) connection in order,
+        and arrives one propagation delay later — collapsed into one
+        bookkeeping pass.  Both backends call it, so their virtual clocks and
+        counters agree.
+        """
+        now = self.sim.now
+        ready_times = self.reserve_cpu_sequence(
+            sender,
+            [now] * len(sizes),
+            [cpu + self.per_packet_overhead for cpu in cpus],
+        )
+        key = (sender, receiver)
+        latency = self.network.latency(sender, receiver)
+        scale = 8.0 / self.connection_bps
+        link_dones = _queue_dones(
+            self._link_free_at.get(key, 0.0),
+            ready_times,
+            [size * scale for size in sizes],
+        )
+        self._link_free_at[key] = link_dones[-1]
+        self.stats.packets_sent += len(sizes)
+        self.stats.bytes_sent += sum(sizes)
+        return [done + latency for done in link_dones]
+
+
+class SimulatedOverlayNetwork(OverlayTransport):
+    """Discrete-event transport substrate: everything runs on a virtual clock."""
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        connection_bps: float,
+        per_packet_overhead: float = DEFAULT_PER_PACKET_OVERHEAD,
+        simulator: EventSimulator | None = None,
+    ) -> None:
+        super().__init__(network, connection_bps, per_packet_overhead)
+        self.sim = EventSimulator() if simulator is None else simulator
 
     # -- transmission -------------------------------------------------------------------
 
@@ -254,33 +377,8 @@ class SimulatedOverlayNetwork:
         if not self.is_alive(sender):
             self.stats.packets_dropped += len(sizes)
             return
-        if sender_cpu_seconds is None:
-            cpus = [0.0] * len(sizes)
-        else:
-            cpus = list(sender_cpu_seconds)
-            if len(cpus) != len(sizes):
-                raise SimulationError(
-                    "transmit_batch needs one CPU cost per packet "
-                    f"({len(cpus)} costs for {len(sizes)} packets)"
-                )
-        now = self.sim.now
-        ready_times = self.reserve_cpu_sequence(
-            sender,
-            [now] * len(sizes),
-            [cpu + self.per_packet_overhead for cpu in cpus],
-        )
-        key = (sender, receiver)
-        latency = self.network.latency(sender, receiver)
-        scale = 8.0 / self.connection_bps
-        link_dones = _queue_dones(
-            self._link_free_at.get(key, 0.0),
-            ready_times,
-            [size * scale for size in sizes],
-        )
-        self._link_free_at[key] = link_dones[-1]
-        arrivals = [done + latency for done in link_dones]
-        self.stats.packets_sent += len(sizes)
-        self.stats.bytes_sent += sum(sizes)
+        cpus = self._normalise_cpus(len(sizes), sender_cpu_seconds)
+        arrivals = self._account_batch(sender, receiver, sizes, cpus)
 
         def deliver() -> None:
             if not self.is_alive(receiver):
@@ -289,6 +387,56 @@ class SimulatedOverlayNetwork:
             on_delivered(arrivals)
 
         self.sim.schedule_at(arrivals[-1], deliver)
+
+    # -- payload-carrying surface (the originals are delivered directly) ---------------
+
+    def transmit_packets(
+        self,
+        sender: str,
+        receiver: str,
+        packets: list[Packet],
+        deliver: Callable[[list[Packet], list[float]], None],
+        sender_cpu_seconds: Sequence[float] | None = None,
+    ) -> None:
+        self.transmit_batch(
+            sender,
+            receiver,
+            [packet.size_bytes() for packet in packets],
+            lambda arrivals: deliver(packets, arrivals),
+            sender_cpu_seconds=sender_cpu_seconds,
+        )
+
+    def transmit_blobs(
+        self,
+        sender: str,
+        receiver: str,
+        blobs: list[bytes],
+        deliver: Callable[[list[bytes], list[float]], None],
+        sender_cpu_seconds: Sequence[float] | None = None,
+    ) -> None:
+        self.transmit_batch(
+            sender,
+            receiver,
+            [len(blob) for blob in blobs],
+            lambda arrivals: deliver(blobs, arrivals),
+            sender_cpu_seconds=sender_cpu_seconds,
+        )
+
+    def transmit_blob(
+        self,
+        sender: str,
+        receiver: str,
+        blob: bytes,
+        deliver: Callable[[bytes], None],
+        sender_cpu_seconds: float = 0.0,
+    ) -> None:
+        self.transmit(
+            sender,
+            receiver,
+            len(blob),
+            lambda: deliver(blob),
+            sender_cpu_seconds=sender_cpu_seconds,
+        )
 
 
 @dataclass
@@ -340,7 +488,7 @@ class SlicingRuntime:
 
     def __init__(
         self,
-        substrate: SimulatedOverlayNetwork,
+        substrate: OverlayTransport,
         rng: np.random.Generator | None = None,
         flush_timeout: float = 2.0,
         setup_processing_overhead: float = DEFAULT_SETUP_PROCESSING_OVERHEAD,
@@ -502,20 +650,18 @@ class SlicingRuntime:
             chunk_packets = packets[start : start + chunk]
             chunk_cpus = sender_cpus[start : start + chunk]
 
-            def on_delivered(
-                arrivals: list[float], chunk_packets: list[Packet] = chunk_packets
-            ) -> None:
+            def on_delivered(delivered: list[Packet], arrivals: list[float]) -> None:
                 self.sim.schedule_keyed(
                     ("rx", receiver),
                     self.sim.now,
-                    (chunk_packets, arrivals),
+                    (delivered, arrivals),
                     lambda items: self._process_inbox(receiver, items),
                 )
 
-            self.substrate.transmit_batch(
+            self.substrate.transmit_packets(
                 sender,
                 receiver,
-                [packet.size_bytes() for packet in chunk_packets],
+                chunk_packets,
                 on_delivered,
                 sender_cpu_seconds=chunk_cpus,
             )

@@ -24,12 +24,21 @@ relay engines via :class:`~repro.overlay.node.SlicingRuntime`;
 from __future__ import annotations
 
 import abc
+import hashlib
+from dataclasses import fields as dataclass_fields
 from typing import Callable
 
 import numpy as np
 
+from ..core.relay import RelayStats
 from ..core.source import FlowSetup, Source
-from .node import FlowProgress, SimulatedOverlayNetwork, SlicingRuntime
+from .network import NetworkModel
+from .node import (
+    FlowProgress,
+    OverlayTransport,
+    SimulatedOverlayNetwork,
+    SlicingRuntime,
+)
 
 
 class ProtocolRuntime(abc.ABC):
@@ -38,7 +47,7 @@ class ProtocolRuntime(abc.ABC):
     #: Registry key; subclasses set this and call :func:`register_runtime`.
     scheme: str = ""
 
-    def __init__(self, substrate: SimulatedOverlayNetwork) -> None:
+    def __init__(self, substrate: OverlayTransport) -> None:
         self.substrate = substrate
         self.progress = FlowProgress()
 
@@ -61,6 +70,72 @@ class ProtocolRuntime(abc.ABC):
     @abc.abstractmethod
     def setup_seconds(self) -> float | None:
         """Measured route-setup latency, or None if setup never completed."""
+
+    # -- structural observables (backend-parity surface) ---------------------------
+    #
+    # These are the fields asserted identical between the simulated and the
+    # asyncio backend under a shared seed: *what* was delivered and *how
+    # much* work the relays did — never virtual/wall timestamps.
+
+    def delivered_plaintexts(self) -> dict[int, bytes]:
+        """Messages the destination decoded, by sequence number."""
+        return {}
+
+    def delivered_digest(self) -> str:
+        """Order-independent digest of the delivered (seq, plaintext) pairs."""
+        delivered = self.delivered_plaintexts()
+        digest = hashlib.sha256()
+        for seq in sorted(delivered):
+            digest.update(seq.to_bytes(8, "big"))
+            digest.update(delivered[seq])
+        return digest.hexdigest()
+
+    def relay_counters(self) -> dict[str, int]:
+        """Aggregate relay-engine counters (empty for engines without stats)."""
+        return {}
+
+    def network_counters(self) -> dict[str, int]:
+        """The substrate's transport counters (packets/bytes sent, drops)."""
+        stats = self.substrate.stats
+        return {
+            "packets_sent": stats.packets_sent,
+            "packets_dropped": stats.packets_dropped,
+            "bytes_sent": stats.bytes_sent,
+        }
+
+
+def aggregate_relay_stats(relays) -> dict[str, int]:
+    """Sum :class:`~repro.core.relay.RelayStats` counters across relay engines."""
+    totals = {field.name: 0 for field in dataclass_fields(RelayStats)}
+    for relay in relays:
+        for name in totals:
+            totals[name] += getattr(relay.stats, name)
+    return totals
+
+
+#: Overlay transport backends selectable on the registry and the CLI.
+SUBSTRATE_BACKENDS = ("sim", "aio")
+
+
+def build_substrate(
+    backend: str, network: NetworkModel, connection_bps: float, **kwargs
+) -> OverlayTransport:
+    """Instantiate an overlay transport backend by name.
+
+    ``"sim"`` is the discrete-event simulator; ``"aio"`` runs the same
+    protocol runtimes over asyncio localhost TCP streams
+    (:class:`~repro.overlay.aio.AioOverlayNetwork`).  Extra keyword arguments
+    go to the backend constructor (e.g. ``pace=`` for the aio backend's
+    wall-clock link shaping).
+    """
+    if backend == "sim":
+        return SimulatedOverlayNetwork(network, connection_bps=connection_bps, **kwargs)
+    if backend == "aio":
+        from .aio import AioOverlayNetwork
+
+        return AioOverlayNetwork(network, connection_bps=connection_bps, **kwargs)
+    known = ", ".join(SUBSTRATE_BACKENDS)
+    raise KeyError(f"unknown overlay backend {backend!r} (known: {known})")
 
 
 #: Registered runtime factories by scheme name.
@@ -111,7 +186,7 @@ class SlicingProtocolRuntime(ProtocolRuntime):
 
     def __init__(
         self,
-        substrate: SimulatedOverlayNetwork,
+        substrate: OverlayTransport,
         source_stage: list[str],
         d: int,
         path_length: int,
@@ -159,6 +234,17 @@ class SlicingProtocolRuntime(ProtocolRuntime):
         if complete is None:
             return None
         return complete - self.progress.setup_injected_at
+
+    def delivered_plaintexts(self) -> dict[int, bytes]:
+        if self.flow is None:
+            return {}
+        relay = self.runtime.relays.get(self.flow.destination)
+        if relay is None:
+            return {}
+        return relay.delivered_messages(self.flow.plan.flow_ids[self.flow.destination])
+
+    def relay_counters(self) -> dict[str, int]:
+        return aggregate_relay_stats(self.runtime.relays.values())
 
 
 register_runtime(SlicingProtocolRuntime.scheme, SlicingProtocolRuntime)

@@ -1,0 +1,183 @@
+"""The asyncio socket backend: backend parity and lifecycle.
+
+Every protocol runtime (slicing, onion, onion-erasure) must deliver the same
+plaintexts and produce the same relay/network counters on the ``aio``
+backend as on the discrete-event simulator under a shared seed — timing
+fields are clock-dependent and deliberately excluded.  These are the
+in-process versions of what the CI ``aio-parity`` job asserts across whole
+figure artifacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.experiments.runner import run_experiment
+from repro.experiments.setup_latency import measure_setup
+from repro.experiments.throughput import aggregate_throughput_vs_flows, measure_throughput
+from repro.overlay.aio import AioOverlayNetwork
+from repro.overlay.profiles import LAN_PROFILE
+from repro.overlay.runtime import build_substrate
+
+
+def _lan_network(addresses, seed=0):
+    return LAN_PROFILE.build_network(addresses, np.random.default_rng(seed))
+
+
+# -- parity -------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("scheme", "kwargs"),
+    [
+        ("slicing", {"d": 2}),
+        ("onion", {}),
+        ("onion-erasure", {"d": 2, "d_prime": 3}),
+    ],
+)
+def test_throughput_parity_with_simulator(scheme, kwargs):
+    results = {
+        backend: measure_throughput(
+            scheme,
+            LAN_PROFILE,
+            path_length=2,
+            num_messages=15,
+            seed=42,
+            backend=backend,
+            **kwargs,
+        )
+        for backend in ("sim", "aio")
+    }
+    assert results["sim"].messages_delivered == 15
+    assert results["sim"].parity_fields() == results["aio"].parity_fields()
+    # The digest covers actual plaintext content, so this is end-to-end
+    # delivery equivalence, not just equal counts.
+    assert results["sim"].delivered_digest == results["aio"].delivered_digest != ""
+
+
+@pytest.mark.parametrize(
+    ("scheme", "d"), [("slicing", 2), ("slicing", 3), ("onion", 1)]
+)
+def test_setup_parity_with_simulator(scheme, d):
+    sim = measure_setup(scheme, LAN_PROFILE, path_length=3, d=d, seed=17)
+    aio = measure_setup(scheme, LAN_PROFILE, path_length=3, d=d, seed=17, backend="aio")
+    assert sim.setup_complete and aio.setup_complete
+    assert sim.parity_fields() == aio.parity_fields()
+    assert aio.setup_seconds > 0
+
+
+def test_aggregate_flows_parity_with_simulator():
+    rows = {
+        backend: aggregate_throughput_vs_flows(
+            LAN_PROFILE,
+            flow_counts=[2],
+            overlay_size=24,
+            path_length=3,
+            d=2,
+            num_messages=8,
+            seed=9,
+            backend=backend,
+        )
+        for backend in ("sim", "aio")
+    }
+    assert rows["sim"][0]["messages_delivered"] == 16
+    assert rows["sim"][0]["parity"] == rows["aio"][0]["parity"]
+
+
+def test_runner_parity_artifacts_are_byte_identical(tmp_path):
+    """fig14 through the registry on both backends: same parity artifact."""
+    paths = {}
+    for backend in ("sim", "aio"):
+        out = tmp_path / backend
+        run_experiment("fig14", scale=0.02, out_dir=out, backend=backend)
+        paths[backend] = out / "fig14.parity.json"
+        assert paths[backend].exists()
+    assert paths["sim"].read_bytes() == paths["aio"].read_bytes()
+    # The main artifacts differ (wall-clock timing fields), which is exactly
+    # why the parity file exists.
+    assert (tmp_path / "sim" / "fig14.json").exists()
+    assert (tmp_path / "aio" / "fig14.json").exists()
+
+
+def test_runner_rejects_backend_for_sim_only_experiments(tmp_path):
+    with pytest.raises(ValueError, match="does not support backend"):
+        run_experiment("fig16", out_dir=tmp_path, backend="aio")
+
+
+# -- lifecycle ----------------------------------------------------------------------
+
+
+def test_build_substrate_selects_backends():
+    network = _lan_network(["a", "b"])
+    sim = build_substrate("sim", network, connection_bps=30e6)
+    aio = build_substrate("aio", network, connection_bps=30e6)
+    try:
+        assert type(sim).__name__ == "SimulatedOverlayNetwork"
+        assert isinstance(aio, AioOverlayNetwork)
+        with pytest.raises(KeyError, match="unknown overlay backend"):
+            build_substrate("carrier-pigeon", network, connection_bps=30e6)
+    finally:
+        aio.close()
+        sim.close()  # no-op on the simulator backend
+
+
+def test_aio_rejects_size_only_transmit_surface():
+    substrate = AioOverlayNetwork(_lan_network(["a", "b"]), connection_bps=30e6)
+    try:
+        with pytest.raises(SimulationError, match="payload-carrying"):
+            substrate.transmit("a", "b", 100, lambda: None)
+        with pytest.raises(SimulationError, match="transmit_packets"):
+            substrate.transmit_batch("a", "b", [100], lambda arrivals: None)
+    finally:
+        substrate.close()
+
+
+def test_aio_blob_round_trip_and_teardown():
+    substrate = AioOverlayNetwork(_lan_network(["a", "b"]), connection_bps=30e6)
+    delivered = []
+    substrate.transmit_blob("a", "b", b"setup-onion", delivered.append)
+    substrate.sim.run()
+    assert delivered == [b"setup-onion"]
+    assert substrate.stats.packets_sent == 1
+    substrate.close()
+    substrate.close()  # idempotent
+    with pytest.raises(SimulationError, match="closed"):
+        substrate.transmit_blob("a", "b", b"late", delivered.append)
+
+
+def test_aio_drops_to_failed_receiver():
+    substrate = AioOverlayNetwork(_lan_network(["a", "b"]), connection_bps=30e6)
+    try:
+        delivered = []
+        substrate.fail_node("b")
+        substrate.transmit_blobs(
+            "a", "b", [b"one", b"two"], lambda blobs, arrivals: delivered.append(blobs)
+        )
+        substrate.sim.run()
+        assert delivered == []
+        assert substrate.stats.packets_dropped == 2
+    finally:
+        substrate.close()
+
+
+def test_aio_pace_shapes_wall_clock_delivery():
+    """With pace > 0, delivery waits ~pace x the virtual link span."""
+    import time
+
+    from repro.overlay.network import NodeResources, uniform_network
+
+    # 50 ms of virtual one-way latency at pace=1.0 must show up as >= ~50 ms
+    # of wall time — well clear of localhost socket-setup noise.
+    network = uniform_network(["a", "b"], 0.05, NodeResources())
+    slow = AioOverlayNetwork(network, connection_bps=30e6, pace=1.0)
+    try:
+        delivered = []
+        slow.transmit_blob("a", "b", bytes(1500), delivered.append)
+        start = time.perf_counter()
+        virtual = slow.sim.run()
+        slow_wall = time.perf_counter() - start
+        assert delivered
+        assert virtual >= 0.05
+        assert slow_wall >= 0.04
+    finally:
+        slow.close()

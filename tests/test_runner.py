@@ -126,8 +126,22 @@ def test_cli_run_subcommand(tmp_path, capsys):
 
 
 def test_cli_run_unknown_experiment(capsys):
+    # A bad name must exit with a one-line error listing the valid names on
+    # stderr — never a raw KeyError traceback.
     assert experiments_main(["run", "fig99"]) == 2
-    assert "unknown experiment" in capsys.readouterr().out
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error: unknown experiment")
+    assert "fig11" in captured.err and "fig99" in captured.err
+    assert captured.err.count("\n") == 1
+    assert "Traceback" not in captured.err
+
+
+def test_cli_run_unsupported_backend(capsys):
+    # fig16 is analytic: it only runs on the simulator backend.
+    assert experiments_main(["run", "fig16", "--backend", "aio"]) == 2
+    captured = capsys.readouterr()
+    assert "not support backend" in captured.err and "fig16" in captured.err
+    assert "Traceback" not in captured.err
 
 
 def test_cli_list(capsys):
