@@ -35,6 +35,52 @@ from .errors import CodingError, InsufficientSlicesError
 from .gf import GF, GF256
 from .integrity import robust_decode, unwrap, verify
 
+def decode_setup_payload(
+    coder: SliceCoder, blocks: list[CodedBlock], field: GF256 = GF
+) -> bytes:
+    """Robust-decode one slice set through the batched Gauss–Jordan kernel.
+
+    This is the route-setup counterpart of :meth:`FlowDecoder.decode_many`:
+    a relay decoding its own routing information (§4.3.5) stacks the first
+    ``d`` received slices — arrival order — into a ``(1, d, d)``
+    coefficient stack and a ``(1, d, block_len)`` payload stack and decodes
+    through :meth:`GF256.try_invert_matrices
+    <repro.core.gf.GF256.try_invert_matrices>` /
+    :meth:`GF256.batched_matmul <repro.core.gf.GF256.batched_matmul>`,
+    instead of paying :func:`~repro.core.integrity.robust_decode`'s greedy
+    per-block rank eliminations.
+
+    Bit-identical to ``robust_decode(coder, blocks)``: when the first ``d``
+    blocks are independent they are exactly what the greedy scalar selection
+    picks (matrix inverses over GF(2^8) are unique), and anything irregular
+    — dependent rows, churn padding that fails the integrity frame, ragged
+    payload lengths — falls back to :func:`robust_decode` on the very same
+    blocks.  Asserted in ``tests/test_setup_decode.py`` and re-checked by
+    :func:`repro.experiments.setup_latency.compare_setup_decode_engines`.
+    """
+    d = coder.d
+    if len(blocks) < d:
+        raise InsufficientSlicesError(d, len(blocks))
+    head = blocks[:d]
+    block_len = head[0].payload.shape[0]
+    if all(
+        block.coefficients.shape[0] == d and block.payload.shape[0] == block_len
+        for block in head
+    ):
+        coeffs = np.stack([block.coefficients for block in head])[None, :, :]
+        inverses, invertible = field.try_invert_matrices(coeffs)
+        if invertible[0]:
+            payloads = np.stack([block.payload for block in head])[None, :, :]
+            pieces = field.batched_matmul(inverses, payloads)[0]
+            try:
+                candidate = _unpad_message(pieces)
+            except CodingError:
+                candidate = None
+            if candidate is not None and verify(candidate):
+                return unwrap(candidate)
+    return robust_decode(coder, blocks)
+
+
 #: Initial number of sequence rows allocated per plane.
 _INITIAL_ROWS = 8
 

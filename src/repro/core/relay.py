@@ -25,9 +25,12 @@ delivered messages:
   prose.
 * ``"batched"`` (default) — deliveries are deferred to the end of each
   :meth:`handle_packets` call and decoded together through the batched
-  Gauss–Jordan kernels.  Bit-identical to the scalar engine (matrix inverses
-  are unique and irregular cases fall back to ``robust_decode``), asserted in
-  ``tests/test_dataplane.py``.
+  Gauss–Jordan kernels, and the *setup-phase* decode of a relay's own
+  routing slices (§4.3.5) goes through the same kernel
+  (:func:`~repro.core.flow_decoder.decode_setup_payload`).  Bit-identical to
+  the scalar engine (matrix inverses are unique and irregular cases fall
+  back to ``robust_decode``), asserted in ``tests/test_dataplane.py`` and
+  ``tests/test_setup_decode.py``.
 """
 
 from __future__ import annotations
@@ -39,7 +42,7 @@ import numpy as np
 from ..crypto.symmetric import StreamCipher
 from .coder import CodedBlock, SliceCoder
 from .errors import CodingError, InsufficientSlicesError, ProtocolError
-from .flow_decoder import FlowDecoder
+from .flow_decoder import FlowDecoder, decode_setup_payload
 from .integrity import robust_decode
 from .node_info import NodeInfo
 from .packet import Packet, PacketKind, random_padding_slice
@@ -275,7 +278,14 @@ class Relay:
             return
         coder = SliceCoder(state.d)
         try:
-            payload = robust_decode(coder, blocks)
+            # The batched engine decodes its routing slices through the
+            # batched Gauss-Jordan kernel (bit-identical fast path, scalar
+            # robust_decode fallback); the scalar engine keeps the
+            # per-message reference decode.
+            if self.engine == "batched":
+                payload = decode_setup_payload(coder, blocks)
+            else:
+                payload = robust_decode(coder, blocks)
             state.info = NodeInfo.unpack(payload)
             self.stats.flows_decoded += 1
         except (InsufficientSlicesError, CodingError, ProtocolError):

@@ -4,7 +4,9 @@ Subcommands::
 
     python -m repro.experiments run <name> [...] [--workers N] [--scale S]
                                     [--out DIR] [--seed N] [--force]
-                                    [--backend sim|aio]
+                                    [--backend sim|aio] [--dist N]
+    python -m repro.experiments coordinate <name> [--port P] [--scale S] [...]
+    python -m repro.experiments worker --port P [--host H] [...]
     python -m repro.experiments list
 
 ``run`` executes registered experiments through the parallel runner and
@@ -13,7 +15,12 @@ the requested (experiment, scale, seed) are re-used unless ``--force``.
 ``--backend aio`` drives the overlay experiments (figs. 11-15) over the
 asyncio localhost-TCP backend instead of the discrete-event simulator; the
 structural fields land in ``<name>.parity.json`` for cross-backend
-comparison.  ``list`` prints every registered experiment.
+comparison.  ``--dist N`` shards the trials across ``N`` local worker
+processes through the distributed coordinator instead of the in-process
+pool.  ``coordinate`` / ``worker`` run the two halves of the distributed
+subsystem separately (the coordinator leases trial chunks over TCP and
+merges the results into the same canonical artifact).  ``list`` prints
+every registered experiment.
 
 The legacy invocation ``python -m repro.experiments [fig07 ...] [--scale S]``
 still works: it runs the named figures inline and prints their tables.
@@ -28,20 +35,13 @@ from .registry import experiment_names, get_experiment
 from .runner import DEFAULT_RESULTS_DIR, run_experiment
 from .tables import format_table
 
-_SUBCOMMANDS = ("run", "list")
+_SUBCOMMANDS = ("run", "list", "coordinate", "worker")
 
 
 def _positive_float(raw: str) -> float:
     value = float(raw)
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {raw}")
-    return value
-
-
-def _positive_int(raw: str) -> int:
-    value = int(raw)
-    if value < 1:
-        raise argparse.ArgumentTypeError(f"must be >= 1, got {raw}")
     return value
 
 
@@ -70,8 +70,19 @@ def _dispatch(argv: list[str]) -> int:
         metavar="name",
         help="registered experiment names (see the 'list' subcommand)",
     )
+    # Validated in _run_command (not via argparse type=) so that a bad count
+    # is a one-line stderr error like the unknown-name/unsupported-backend
+    # cases, not a usage dump.
     run_parser.add_argument(
-        "--workers", type=_positive_int, default=1, help="worker processes (default: 1)"
+        "--workers", type=int, default=1, help="worker processes (default: 1)"
+    )
+    run_parser.add_argument(
+        "--dist",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard trials across N local worker processes via the "
+        "distributed coordinator (see the 'coordinate'/'worker' subcommands)",
     )
     run_parser.add_argument(
         "--scale",
@@ -100,6 +111,97 @@ def _dispatch(argv: list[str]) -> int:
         help="recompute even if a matching artifact exists",
     )
 
+    coordinate_parser = subparsers.add_parser(
+        "coordinate",
+        help="lease one experiment's trials to TCP workers and merge the rows",
+    )
+    coordinate_parser.add_argument(
+        "name", help="registered experiment name (see the 'list' subcommand)"
+    )
+    coordinate_parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: 127.0.0.1)"
+    )
+    coordinate_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to listen on (default: 0 = pick a free port and print it)",
+    )
+    coordinate_parser.add_argument(
+        "--scale",
+        type=_positive_float,
+        default=1.0,
+        help="trial-count scale factor (1.0 = the paper's full counts)",
+    )
+    coordinate_parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment's base seed"
+    )
+    coordinate_parser.add_argument(
+        "--out",
+        default=str(DEFAULT_RESULTS_DIR),
+        help="artifact directory (default: results/)",
+    )
+    coordinate_parser.add_argument(
+        "--backend",
+        choices=SUBSTRATE_BACKENDS,
+        default="sim",
+        help="overlay transport backend workers run trials on (default: sim)",
+    )
+    coordinate_parser.add_argument(
+        "--chunk", type=int, default=1, help="trial indices per lease (default: 1)"
+    )
+    coordinate_parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=120.0,
+        help="lease lifetime before unreturned trials are re-dispatched "
+        "(default: 120)",
+    )
+    coordinate_parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        help="hold the first lease until this many workers have joined (default: 1)",
+    )
+    coordinate_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="abort if the run has not completed after this many seconds",
+    )
+    coordinate_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even if a matching artifact exists",
+    )
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="execute leased trials for a coordinator"
+    )
+    worker_parser.add_argument(
+        "--host", default="127.0.0.1", help="coordinator host (default: 127.0.0.1)"
+    )
+    worker_parser.add_argument(
+        "--port", type=int, required=True, help="coordinator port"
+    )
+    worker_parser.add_argument(
+        "--label", default=None, help="worker name shown in coordinator logs"
+    )
+    worker_parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to keep retrying the initial connect (default: 10)",
+    )
+    worker_parser.add_argument(
+        "--crash-after-leases",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault injection: die abruptly upon receiving lease N+1 "
+        "(exercises the coordinator's re-dispatch path)",
+    )
+
     subparsers.add_parser("list", help="list registered experiments")
 
     args = parser.parse_args(argv)
@@ -107,62 +209,167 @@ def _dispatch(argv: list[str]) -> int:
         for name in experiment_names():
             print(f"{name:24s} {get_experiment(name).title}")
         return 0
+    if args.command == "coordinate":
+        return _coordinate_command(args)
+    if args.command == "worker":
+        return _worker_command(args)
     return _run_command(args)
 
 
-def _run_command(args: argparse.Namespace) -> int:
+def _fail(message: str) -> int:
+    """One-line usage error on stderr, exit 2 (no traceback, no usage dump)."""
     import sys
 
-    unknown = [name for name in args.names if name not in experiment_names()]
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _validate_names(names: list[str], backend: str) -> int:
+    """Shared up-front validation so usage mistakes exit with one line,
+    while genuine failures inside trial code keep their tracebacks."""
+    unknown = [name for name in names if name not in experiment_names()]
     if unknown:
         known = ", ".join(experiment_names())
-        print(
-            f"error: unknown experiment(s): {', '.join(unknown)} (known: {known})",
-            file=sys.stderr,
-        )
-        return 2
-    # Validate backend support up front so usage mistakes exit with one
-    # line, while genuine failures inside trial code keep their tracebacks.
+        return _fail(f"unknown experiment(s): {', '.join(unknown)} (known: {known})")
     unsupported = [
-        name
-        for name in args.names
-        if args.backend not in get_experiment(name).backends
+        name for name in names if backend not in get_experiment(name).backends
     ]
     if unsupported:
-        print(
-            f"error: experiment(s) {', '.join(unsupported)} do not support "
-            f"backend {args.backend!r} (simulator-only)",
-            file=sys.stderr,
+        return _fail(
+            f"experiment(s) {', '.join(unsupported)} do not support "
+            f"backend {backend!r} (simulator-only)"
         )
-        return 2
-    for name in args.names:
-        result = run_experiment(
-            name,
-            scale=args.scale,
-            workers=args.workers,
-            seed=args.seed,
-            out_dir=args.out,
-            force=args.force,
-            backend=args.backend,
-        )
-        status = "cached" if result.cached else f"{result.elapsed_seconds:.2f}s"
-        header = f"scale={result.scale}, seed={result.seed}"
-        if result.backend != "sim":
-            header += f", backend={result.backend}"
-        print(f"\n=== {name} ({header}, {status}) ===")
-        # The structural parity sub-dicts are artifact material, not table
-        # material — they would dwarf every other column.
-        print(
-            format_table(
-                [
-                    {key: value for key, value in row.items() if key != "parity"}
-                    for row in result.rows
-                ]
-            )
-        )
-        if result.artifact is not None:
-            print(f"artifact: {result.artifact}")
     return 0
+
+
+def _print_result(name: str, result) -> None:
+    """Shared table printing for RunResult and DistributedRunResult."""
+    status = "cached" if result.cached else f"{result.elapsed_seconds:.2f}s"
+    header = f"scale={result.scale}, seed={result.seed}"
+    if result.backend != "sim":
+        header += f", backend={result.backend}"
+    workers_seen = getattr(result, "workers_seen", 0)
+    if workers_seen:
+        header += f", dist-workers={workers_seen}"
+    print(f"\n=== {name} ({header}, {status}) ===")
+    # The structural parity sub-dicts are artifact material, not table
+    # material — they would dwarf every other column.
+    print(
+        format_table(
+            [
+                {key: value for key, value in row.items() if key != "parity"}
+                for row in result.rows
+            ]
+        )
+    )
+    if result.artifact is not None:
+        print(f"artifact: {result.artifact}")
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        return _fail(f"--workers must be >= 1, got {args.workers}")
+    if args.dist is not None and args.dist < 1:
+        return _fail(f"--dist must be >= 1 worker process, got {args.dist}")
+    if args.dist is not None and args.workers != 1:
+        return _fail(
+            "--workers selects the in-process pool and --dist the distributed "
+            "coordinator; pass one or the other"
+        )
+    code = _validate_names(args.names, args.backend)
+    if code:
+        return code
+    if args.dist is not None:
+        unshardable = [
+            name for name in args.names if not get_experiment(name).shardable
+        ]
+        if unshardable:
+            return _fail(
+                f"experiment(s) {', '.join(unshardable)} are not shardable "
+                "(single-host wall-clock measurements); drop --dist"
+            )
+    for name in args.names:
+        if args.dist is not None:
+            from .distributed import run_distributed
+
+            result = run_distributed(
+                name,
+                scale=args.scale,
+                seed=args.seed,
+                out_dir=args.out,
+                force=args.force,
+                backend=args.backend,
+                workers=args.dist,
+            )
+        else:
+            result = run_experiment(
+                name,
+                scale=args.scale,
+                workers=args.workers,
+                seed=args.seed,
+                out_dir=args.out,
+                force=args.force,
+                backend=args.backend,
+            )
+        _print_result(name, result)
+    return 0
+
+
+def _coordinate_command(args: argparse.Namespace) -> int:
+    from .distributed import run_distributed
+
+    code = _validate_names([args.name], args.backend)
+    if code:
+        return code
+    if not get_experiment(args.name).shardable:
+        return _fail(
+            f"experiment {args.name!r} is not shardable "
+            "(single-host wall-clock measurement)"
+        )
+    if args.chunk < 1:
+        return _fail(f"--chunk must be >= 1, got {args.chunk}")
+    if args.lease_seconds <= 0:
+        return _fail(f"--lease-seconds must be positive, got {args.lease_seconds}")
+    if args.min_workers < 1:
+        return _fail(f"--min-workers must be >= 1, got {args.min_workers}")
+    result = run_distributed(
+        args.name,
+        scale=args.scale,
+        seed=args.seed,
+        out_dir=args.out,
+        force=args.force,
+        backend=args.backend,
+        host=args.host,
+        port=args.port,
+        workers=0,
+        min_workers=args.min_workers,
+        chunk_size=args.chunk,
+        lease_seconds=args.lease_seconds,
+        timeout=args.timeout,
+        log=print,
+    )
+    print(
+        f"distributed run complete: experiment={result.name} "
+        f"trials={result.trial_count} workers={result.workers_seen} "
+        f"redispatched={result.redispatched} cached={str(result.cached).lower()}"
+    )
+    _print_result(args.name, result)
+    return 0
+
+
+def _worker_command(args: argparse.Namespace) -> int:
+    import sys
+
+    from .distributed import run_worker
+
+    return run_worker(
+        host=args.host,
+        port=args.port,
+        label=args.label,
+        crash_after_leases=args.crash_after_leases,
+        connect_timeout=args.connect_timeout,
+        log=lambda message: print(message, file=sys.stderr),
+    )
 
 
 def _legacy_main(argv: list[str]) -> int:

@@ -70,6 +70,7 @@ register(
         build_trials=_transforms_trials,
         run_trial=_transforms_run,
         deterministic=False,  # wall-clock timings; never serve from cache
+        shardable=False,  # single-host comparison; numbers mean nothing sharded
     )
 )
 

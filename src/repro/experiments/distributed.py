@@ -1,0 +1,852 @@
+"""Distributed experiment sharding: a coordinator/worker subsystem over TCP.
+
+One registered :class:`~repro.experiments.registry.Experiment` is sharded
+across worker *processes* (same host or not) that speak length-prefixed JSON
+frames over TCP — the same framing discipline as the asyncio overlay backend
+(:mod:`repro.overlay.aio`), whose :func:`~repro.overlay.aio.encode_frame` /
+:func:`~repro.overlay.aio.read_frame` primitives this module reuses.
+
+Roles
+-----
+* The **coordinator** (:func:`run_distributed`, CLI ``repro-experiments
+  coordinate``) owns the trial list.  It chunks trial *indices* into leases
+  with an expiry deadline, hands a lease to whichever worker asks, collects
+  completed rows, re-enqueues the outstanding indices of a lease when its
+  worker dies or the lease times out, and — once every index has a result —
+  merges the rows through the runner's canonical artifact path
+  (:func:`~repro.experiments.runner.write_run_artifacts`).
+* A **worker** (:func:`run_worker`, CLI ``repro-experiments worker``)
+  connects, learns ``(experiment, scale, seed, backend)`` from the job
+  frame, *rebuilds the trial list and per-trial seed sequences locally*
+  (:func:`~repro.experiments.runner.build_trial_list` /
+  :func:`~repro.experiments.runner.trial_payloads`), and then loops:
+  request a lease, execute its trials through the shared
+  :func:`~repro.experiments.runner.execute_trial` core, send the rows back.
+
+Because workers execute the *identical* payloads the local multiprocessing
+pool would (same trial dicts, same ``SeedSequence.spawn`` children, same
+``run_trial``), a distributed run of a deterministic experiment produces a
+merged ``results/<name>.json`` byte-identical to a single-process
+``run_experiment`` of the same ``(name, scale, seed)`` — regardless of how
+many workers ran, in what order leases completed, or whether leases were
+re-dispatched after a worker death.  CI's ``dist-parity`` job ``cmp``-gates
+exactly that.
+
+Wire protocol (version 1)
+-------------------------
+Every frame is a 4-byte big-endian length followed by a canonical-JSON
+object (sorted keys, compact separators) with a ``"type"`` field:
+
+==============  =========  ====================================================
+type            direction  payload
+==============  =========  ====================================================
+``hello``       w -> c     ``protocol``, ``worker`` (display label)
+``job``         c -> w     ``protocol``, ``experiment``, ``scale``, ``seed``,
+                           ``backend``, ``trial_count``, ``trials_digest``
+``request``     w -> c     ask for work
+``lease``       c -> w     ``lease_id``, ``indices`` (trial indices to run)
+``result``      w -> c     ``lease_id``, ``results``: ``[[index, row], ...]``
+``wait``        c -> w     ``seconds`` — nothing leasable right now, re-ask
+``done``        c -> w     every trial has a result; disconnect
+``error``       c -> w     ``message`` — protocol/job mismatch, disconnect
+==============  =========  ====================================================
+
+After ``hello``/``job``, the conversation is strict request–response: the
+worker sends ``request`` or ``result`` and the coordinator answers each with
+exactly one of ``lease`` / ``wait`` / ``done``.  Truncated and oversized
+frames are rejected exactly as on the overlay wire (property-tested in
+``tests/test_dist_protocol.py``); results are recorded *per trial index* and
+only the first result for an index counts, which makes duplicate and stale
+(post-re-dispatch) deliveries idempotent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.errors import PacketFormatError
+from ..overlay.aio import FRAME_HEADER, MAX_FRAME_BYTES, encode_frame, read_frame
+from .registry import Experiment, get_experiment
+from .runner import (
+    _jsonify,
+    _load_cached_document,
+    _write_parity_artifact,
+    build_trial_list,
+    execute_trial,
+    reduce_rows,
+    trial_payloads,
+    write_run_artifacts,
+)
+
+#: Version tag carried by ``hello`` and ``job``; mismatch is a hard error.
+PROTOCOL_VERSION = 1
+
+#: Default lease lifetime (seconds): a worker holding a lease longer than
+#: this without delivering results is presumed dead and its indices are
+#: re-enqueued.
+DEFAULT_LEASE_SECONDS = 120.0
+
+#: Default number of trial indices per lease.
+DEFAULT_CHUNK_SIZE = 1
+
+#: Seconds a worker sleeps when told to ``wait`` (no leasable work yet).
+DEFAULT_POLL_SECONDS = 0.2
+
+
+# -- message layer ------------------------------------------------------------------
+
+
+def encode_message(message: dict) -> bytes:
+    """Frame one protocol message as compact JSON.
+
+    Key order is *preserved*, not sorted: result rows travel inside these
+    frames and the artifact serialisation keeps row insertion order, so the
+    envelope must not re-order what it carries.  Raises
+    :class:`~repro.core.errors.PacketFormatError` for non-dict messages,
+    messages without a ``"type"``, or encodings that exceed
+    :data:`~repro.overlay.aio.MAX_FRAME_BYTES` — the same limit as the
+    overlay wire.
+    """
+    if not isinstance(message, dict) or not isinstance(message.get("type"), str):
+        raise PacketFormatError("protocol messages are dicts with a string 'type'")
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    return encode_frame(payload)
+
+
+def decode_message(payload: bytes) -> dict:
+    """Parse one frame payload back into a protocol message dict."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise PacketFormatError("frame payload is not valid JSON") from None
+    if not isinstance(message, dict) or not isinstance(message.get("type"), str):
+        raise PacketFormatError("protocol messages are dicts with a string 'type'")
+    return message
+
+
+def trials_digest(trials: list[dict]) -> str:
+    """Order-sensitive digest of a trial list.
+
+    Carried in the ``job`` frame so a worker whose locally rebuilt trial
+    list differs from the coordinator's (code-version skew) aborts instead
+    of silently computing different trials.
+    """
+    canonical = json.dumps(trials, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# -- lease bookkeeping --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One outstanding grant of trial indices to one worker connection."""
+
+    lease_id: int
+    indices: tuple[int, ...]
+    worker: str
+    expires_at: float
+
+
+class TrialLedger:
+    """Pure lease/result bookkeeping for one experiment's trial indices.
+
+    The coordinator drives this from its socket handlers; keeping it free of
+    any I/O makes the lease lifecycle property-testable
+    (``tests/test_dist_protocol.py``).  Invariants:
+
+    * every index is recorded at most once — :meth:`complete` is idempotent,
+      so duplicate results (a worker retrying, or a stale result arriving
+      after its lease was re-dispatched) change nothing;
+    * an index is never lost — expiring or releasing a lease re-enqueues
+      exactly its not-yet-completed indices;
+    * :meth:`results_in_order` returns results in trial order, independent
+      of completion order.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    ) -> None:
+        if total < 0:
+            raise ValueError(f"trial count must be >= 0, got {total}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+        if lease_seconds <= 0:
+            raise ValueError(f"lease seconds must be positive, got {lease_seconds}")
+        self.total = total
+        self.chunk_size = chunk_size
+        self.lease_seconds = lease_seconds
+        self._pending: deque[tuple[int, ...]] = deque(
+            tuple(range(start, min(start + chunk_size, total)))
+            for start in range(0, total, chunk_size)
+        )
+        self._leases: dict[int, Lease] = {}
+        self._results: dict[int, dict] = {}
+        self._lease_ids = itertools.count(1)
+
+    @property
+    def done(self) -> bool:
+        """True once every trial index has a recorded result."""
+        return len(self._results) >= self.total
+
+    @property
+    def completed(self) -> int:
+        return len(self._results)
+
+    def outstanding(self) -> list[Lease]:
+        """Currently granted leases (for observability and tests)."""
+        return list(self._leases.values())
+
+    def lease(self, worker: str, now: float) -> Lease | None:
+        """Grant the next chunk of uncompleted indices, or None if none pend."""
+        while self._pending:
+            indices = tuple(
+                index for index in self._pending.popleft() if index not in self._results
+            )
+            if not indices:
+                continue
+            lease = Lease(
+                lease_id=next(self._lease_ids),
+                indices=indices,
+                worker=worker,
+                expires_at=now + self.lease_seconds,
+            )
+            self._leases[lease.lease_id] = lease
+            return lease
+        return None
+
+    def complete(self, lease_id: int, results: dict[int, dict]) -> int:
+        """Record per-index results; returns how many were newly recorded.
+
+        The lease (if still outstanding) is retired, and any of its indices
+        the frame did *not* cover go back in the pending queue — an index
+        can never be stranded, even by a partial or malformed frame
+        (validation happens before any state changes, so a rejected frame
+        leaves the lease outstanding for expiry/death re-dispatch).
+        Unknown or stale lease ids are fine — the per-index results are
+        still valid work — and an index that already has a result keeps its
+        first one, which is what makes duplicate deliveries idempotent.
+        """
+        for index in results:
+            if not 0 <= index < self.total:
+                raise PacketFormatError(
+                    f"result index {index} outside the trial range 0..{self.total - 1}"
+                )
+        lease = self._leases.pop(lease_id, None)
+        newly = 0
+        for index, result in results.items():
+            if index not in self._results:
+                self._results[index] = result
+                newly += 1
+        if lease is not None:
+            uncovered = tuple(
+                index for index in lease.indices if index not in self._results
+            )
+            if uncovered:
+                self._pending.append(uncovered)
+        return newly
+
+    def expire(self, now: float) -> list[Lease]:
+        """Re-enqueue every overdue lease; returns the ones re-dispatched."""
+        overdue = [lease for lease in self._leases.values() if lease.expires_at <= now]
+        return [lease for lease in overdue if self._requeue(lease)]
+
+    def release_worker(self, worker: str) -> list[Lease]:
+        """Re-enqueue a dead worker's leases; returns the ones re-dispatched."""
+        held = [lease for lease in self._leases.values() if lease.worker == worker]
+        return [lease for lease in held if self._requeue(lease)]
+
+    def _requeue(self, lease: Lease) -> bool:
+        del self._leases[lease.lease_id]
+        indices = tuple(
+            index for index in lease.indices if index not in self._results
+        )
+        if not indices:
+            return False
+        self._pending.append(indices)
+        return True
+
+    def results_in_order(self) -> list[dict]:
+        """All results in trial-index order; only valid once :attr:`done`."""
+        if not self.done:
+            missing = self.total - len(self._results)
+            raise RuntimeError(f"ledger incomplete: {missing} trial(s) unfinished")
+        return [self._results[index] for index in range(self.total)]
+
+
+# -- coordinator --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DistributedRunResult:
+    """Outcome of one distributed experiment run."""
+
+    name: str
+    scale: float
+    seed: int
+    backend: str
+    rows: list[dict]
+    trial_count: int
+    artifact: Path | None
+    cached: bool
+    elapsed_seconds: float
+    #: First lease granted -> last result recorded; excludes worker start-up,
+    #: which is what the ``distbench`` sharding-speedup gate measures.
+    compute_seconds: float
+    workers_seen: int
+    redispatched: int
+
+
+@dataclass
+class _CoordinatorState:
+    """Mutable run state shared by the socket handlers and the watchdog."""
+
+    ledger: TrialLedger
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    ready: asyncio.Event = field(default_factory=asyncio.Event)
+    workers_seen: int = 0
+    connected: int = 0
+    redispatched: int = 0
+    compute_started: float | None = None
+    compute_seconds: float = 0.0
+
+    def note_progress(self) -> None:
+        if self.ledger.done and not self.done.is_set():
+            if self.compute_started is not None:
+                self.compute_seconds = time.perf_counter() - self.compute_started
+            self.done.set()
+
+
+class Coordinator:
+    """Asyncio TCP server leasing one experiment's trials to workers."""
+
+    def __init__(
+        self,
+        experiment: Experiment,
+        trials: list[dict],
+        scale: float,
+        seed: int,
+        backend: str = "sim",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        min_workers: int = 1,
+        timeout: float | None = None,
+        log=None,
+    ) -> None:
+        if min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        self.experiment = experiment
+        self.trials = trials
+        self.scale = scale
+        self.seed = seed
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.lease_seconds = lease_seconds
+        self.min_workers = min_workers
+        self.timeout = timeout
+        self.log = log or (lambda message: None)
+        self.state = _CoordinatorState(
+            ledger=TrialLedger(len(trials), chunk_size, lease_seconds)
+        )
+        self._digest = trials_digest(trials)
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._handler_writers: set[asyncio.StreamWriter] = set()
+
+    async def serve(self, spawn_local: int = 0) -> list[dict]:
+        """Run to completion; returns the per-trial results in trial order.
+
+        ``spawn_local`` convenience mode launches that many worker processes
+        against the bound port (the CLI's ``run --dist N``).
+        """
+        state = self.state
+        if state.ledger.total == 0:
+            return []
+        server = await asyncio.start_server(self._handle_worker, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self.log(
+            f"coordinator: {self.experiment.name} scale={self.scale} "
+            f"seed={self.seed} trials={state.ledger.total} "
+            f"listening on {self.host}:{self.port}"
+        )
+        workers: list[subprocess.Popen] = []
+        watchdog = asyncio.ensure_future(self._watch_expiry())
+        try:
+            workers = [self._spawn_local_worker(rank) for rank in range(spawn_local)]
+            await asyncio.wait_for(state.done.wait(), self.timeout)
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"distributed run of {self.experiment.name!r} timed out after "
+                f"{self.timeout}s with {state.ledger.completed}/{state.ledger.total} "
+                "trials complete"
+            ) from None
+        finally:
+            watchdog.cancel()
+            server.close()
+            await server.wait_closed()
+            await self._drain_handlers()
+            self._reap(workers)
+        return state.ledger.results_in_order()
+
+    async def _drain_handlers(self) -> None:
+        # Handlers park either at the min_workers barrier or in read_frame()
+        # waiting for their worker's next request; releasing the barrier and
+        # closing the transports wakes them with a clean EOF so they finish
+        # normally (and their workers see EOF = run over) instead of being
+        # cancelled mid-read when the loop shuts down.
+        self.state.ready.set()
+        for writer in list(self._handler_writers):
+            writer.close()
+        pending = [task for task in self._handler_tasks if not task.done()]
+        if pending:
+            _done, leftover = await asyncio.wait(pending, timeout=2.0)
+            for task in leftover:
+                task.cancel()
+            if leftover:
+                await asyncio.wait(leftover, timeout=1.0)
+
+    def _spawn_local_worker(self, rank: int) -> subprocess.Popen:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            "worker",
+            "--host",
+            self.host,
+            "--port",
+            str(self.port),
+            "--label",
+            f"local-{rank}",
+        ]
+        return subprocess.Popen(command, stdout=subprocess.DEVNULL)
+
+    def _reap(self, workers: list[subprocess.Popen]) -> None:
+        # Workers exit on the done frame / server EOF; escalate only if one
+        # wedges (its trials were completed by somebody else regardless).
+        for worker in workers:
+            try:
+                worker.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+                worker.wait()
+
+    async def _watch_expiry(self) -> None:
+        state = self.state
+        interval = max(self.lease_seconds / 4.0, 0.05)
+        while not state.done.is_set():
+            await asyncio.sleep(interval)
+            expired = state.ledger.expire(time.monotonic())
+            if expired:
+                state.redispatched += len(expired)
+                for lease in expired:
+                    self.log(
+                        f"coordinator: lease {lease.lease_id} "
+                        f"({lease.worker}) expired; re-dispatching "
+                        f"{len(lease.indices)} trial(s)"
+                    )
+
+    async def _handle_worker(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        state = self.state
+        worker_key = ""
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        self._handler_writers.add(writer)
+        try:
+            hello = await read_frame(reader)
+            if hello is None:
+                return
+            message = decode_message(hello)
+            if (
+                message.get("type") != "hello"
+                or message.get("protocol") != PROTOCOL_VERSION
+            ):
+                await self._send(
+                    writer,
+                    {
+                        "type": "error",
+                        "message": f"expected hello with protocol {PROTOCOL_VERSION}",
+                    },
+                )
+                return
+            state.workers_seen += 1
+            state.connected += 1
+            label = str(message.get("worker") or "worker")
+            worker_key = f"{label}#{state.workers_seen}"
+            self.log(f"coordinator: worker {worker_key} connected")
+            await self._send(
+                writer,
+                {
+                    "type": "job",
+                    "protocol": PROTOCOL_VERSION,
+                    "experiment": self.experiment.name,
+                    "scale": self.scale,
+                    "seed": self.seed,
+                    "backend": self.backend,
+                    "trial_count": state.ledger.total,
+                    "trials_digest": self._digest,
+                },
+            )
+            if state.connected >= self.min_workers:
+                state.ready.set()
+            await state.ready.wait()
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                message = decode_message(frame)
+                kind = message.get("type")
+                if kind == "result":
+                    self._record_result(message)
+                elif kind != "request":
+                    raise PacketFormatError(
+                        f"unexpected message type {kind!r} from {worker_key}"
+                    )
+                reply = self._next_reply(worker_key)
+                await self._send(writer, reply)
+                if reply["type"] == "done":
+                    break
+        except (PacketFormatError, ConnectionError, OSError) as exc:
+            self.log(f"coordinator: worker {worker_key or '<handshake>'} dropped: {exc}")
+        except asyncio.CancelledError:
+            # Only teardown cancels handlers (after the drain grace period);
+            # swallowing keeps the loop's shutdown quiet.
+            pass
+        finally:
+            self._handler_writers.discard(writer)
+            if worker_key:
+                state.connected -= 1
+                released = state.ledger.release_worker(worker_key)
+                if released:
+                    state.redispatched += len(released)
+                    trial_count = sum(len(lease.indices) for lease in released)
+                    self.log(
+                        f"coordinator: worker {worker_key} died holding "
+                        f"{len(released)} lease(s); re-dispatching "
+                        f"{trial_count} trial(s)"
+                    )
+            writer.close()
+
+    def _record_result(self, message: dict) -> None:
+        state = self.state
+        raw = message.get("results")
+        if not isinstance(raw, list):
+            raise PacketFormatError("result message carries no results list")
+        results: dict[int, dict] = {}
+        for entry in raw:
+            if not (
+                isinstance(entry, list)
+                and len(entry) == 2
+                and isinstance(entry[0], int)
+                and isinstance(entry[1], dict)
+            ):
+                raise PacketFormatError("result entries must be [index, row] pairs")
+            results[entry[0]] = entry[1]
+        state.ledger.complete(int(message.get("lease_id", 0)), results)
+        state.note_progress()
+
+    def _next_reply(self, worker_key: str) -> dict:
+        state = self.state
+        if state.ledger.done:
+            return {"type": "done"}
+        lease = state.ledger.lease(worker_key, time.monotonic())
+        if lease is None:
+            return {"type": "wait", "seconds": DEFAULT_POLL_SECONDS}
+        if state.compute_started is None:
+            state.compute_started = time.perf_counter()
+        return {"type": "lease", "lease_id": lease.lease_id, "indices": list(lease.indices)}
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, message: dict) -> None:
+        writer.write(encode_message(message))
+        await writer.drain()
+
+
+def run_distributed(
+    name: str,
+    scale: float = 1.0,
+    seed: int | None = None,
+    out_dir: str | Path | None = None,
+    force: bool = False,
+    backend: str = "sim",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 0,
+    min_workers: int | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    timeout: float | None = None,
+    log=None,
+) -> DistributedRunResult:
+    """Coordinate one distributed experiment run to completion.
+
+    With ``workers=0`` (the ``coordinate`` CLI) the coordinator binds and
+    waits for externally started workers; ``workers=N`` additionally spawns
+    ``N`` local worker processes against the bound port (the CLI's
+    ``run --dist N`` convenience mode).  ``min_workers`` holds the first
+    lease back until that many workers are connected (default: ``workers``
+    or 1), so multi-worker timing measurements start from a level field.
+
+    Artifact and cache behaviour mirror :func:`~repro.experiments.runner.
+    run_experiment`: deterministic sim-backend runs write (and may be served
+    from) the same canonical ``<name>.json``, byte-identical to the
+    single-process artifact.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if workers < 0:
+        raise ValueError(f"worker count must be >= 0, got {workers}")
+    experiment = get_experiment(name)
+    if not experiment.shardable:
+        raise ValueError(
+            f"experiment {name!r} is not shardable (single-host wall-clock "
+            "measurement); run it through `run` instead"
+        )
+    if backend not in experiment.backends:
+        supported = ", ".join(experiment.backends)
+        raise ValueError(
+            f"experiment {name!r} does not support backend {backend!r} "
+            f"(supported: {supported})"
+        )
+    seed = experiment.base_seed if seed is None else int(seed)
+    started = time.perf_counter()
+    trials = build_trial_list(experiment, scale, backend)
+    cacheable = experiment.deterministic and backend == "sim"
+
+    artifact = None if out_dir is None else Path(out_dir) / f"{name}.json"
+    if artifact is not None and not force and cacheable:
+        cached = _load_cached_document(artifact, name, scale, seed, trials)
+        if cached is not None:
+            # Keep the parity mirror tracking the served rows, exactly like
+            # the local runner's cache path.
+            _write_parity_artifact(artifact, experiment, scale, seed, cached["rows"])
+            return DistributedRunResult(
+                name=name,
+                scale=scale,
+                seed=seed,
+                backend=backend,
+                rows=cached["rows"],
+                trial_count=len(cached["trials"]),
+                artifact=artifact,
+                cached=True,
+                elapsed_seconds=time.perf_counter() - started,
+                compute_seconds=0.0,
+                workers_seen=0,
+                redispatched=0,
+            )
+
+    coordinator = Coordinator(
+        experiment,
+        trials,
+        scale=scale,
+        seed=seed,
+        backend=backend,
+        host=host,
+        port=port,
+        chunk_size=chunk_size,
+        lease_seconds=lease_seconds,
+        min_workers=max(workers, 1) if min_workers is None else min_workers,
+        timeout=timeout,
+        log=log,
+    )
+    results = asyncio.run(coordinator.serve(spawn_local=workers))
+    rows = reduce_rows(experiment, trials, [_jsonify(result) for result in results])
+    if artifact is not None:
+        write_run_artifacts(artifact, experiment, scale, seed, trials, rows)
+    return DistributedRunResult(
+        name=name,
+        scale=scale,
+        seed=seed,
+        backend=backend,
+        rows=rows,
+        trial_count=len(trials),
+        artifact=artifact,
+        cached=False,
+        elapsed_seconds=time.perf_counter() - started,
+        compute_seconds=coordinator.state.compute_seconds,
+        workers_seen=coordinator.state.workers_seen,
+        redispatched=coordinator.state.redispatched,
+    )
+
+
+# -- worker -------------------------------------------------------------------------
+
+
+def _recv_message(sock: socket.socket) -> dict | None:
+    """Blocking read of one protocol message; None on clean EOF at a boundary."""
+    header = _recv_exact(sock, FRAME_HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise PacketFormatError(
+            f"frame declares {length} bytes, over the {MAX_FRAME_BYTES}-byte limit"
+        )
+    payload = _recv_exact(sock, length, eof_ok=False)
+    return decode_message(payload)
+
+
+def _recv_exact(sock: socket.socket, count: int, eof_ok: bool) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise PacketFormatError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _connect_with_retry(host: str, port: int, connect_timeout: float) -> socket.socket:
+    """Dial the coordinator, retrying while it is still binding its port."""
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def run_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    label: str | None = None,
+    crash_after_leases: int | None = None,
+    connect_timeout: float = 10.0,
+    io_timeout: float = 600.0,
+    log=None,
+) -> int:
+    """Serve one coordinator until it reports ``done``; returns an exit code.
+
+    The worker is synchronous on purpose — trial execution is CPU work, and
+    one lease is outstanding at a time.  ``crash_after_leases=N`` is fault
+    injection for the re-dispatch path: the worker completes its first ``N``
+    leases normally, then dies abruptly (connection dropped, exit code 1)
+    upon *receiving* the next one, leaving the coordinator to notice and
+    re-enqueue it.
+    """
+    log = log or (lambda message: None)
+    try:
+        sock = _connect_with_retry(host, port, connect_timeout)
+    except OSError as exc:
+        print(
+            f"worker error: could not reach coordinator at {host}:{port} "
+            f"within {connect_timeout}s ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        sock.settimeout(io_timeout)
+        label = label or f"pid-{os.getpid()}"
+        sock.sendall(
+            encode_message(
+                {"type": "hello", "protocol": PROTOCOL_VERSION, "worker": label}
+            )
+        )
+        job = _recv_message(sock)
+        if job is None:
+            return 1
+        if job.get("type") == "error":
+            print(f"worker error: {job.get('message')}", file=sys.stderr)
+            return 1
+        if job.get("type") != "job" or job.get("protocol") != PROTOCOL_VERSION:
+            print(f"worker error: unexpected job frame {job!r}", file=sys.stderr)
+            return 1
+        try:
+            experiment = get_experiment(str(job["experiment"]))
+        except KeyError:
+            print(
+                f"worker error: coordinator's experiment {job['experiment']!r} is "
+                "not in this worker's registry (code version skew?)",
+                file=sys.stderr,
+            )
+            return 1
+        trials = build_trial_list(
+            experiment, float(job["scale"]), str(job.get("backend", "sim"))
+        )
+        if (
+            len(trials) != job.get("trial_count")
+            or trials_digest(trials) != job.get("trials_digest")
+        ):
+            print(
+                f"worker error: local trial list for {experiment.name!r} does not "
+                "match the coordinator's (code version skew?)",
+                file=sys.stderr,
+            )
+            return 1
+        payloads = trial_payloads(experiment.name, trials, int(job["seed"]))
+        log(f"worker {label}: joined {experiment.name} ({len(trials)} trials)")
+        leases_taken = 0
+        sock.sendall(encode_message({"type": "request"}))
+        while True:
+            message = _recv_message(sock)
+            if message is None or message["type"] == "done":
+                # A vanished coordinator means the run finished (or was
+                # aborted) without us; either way there is nothing to do.
+                log(f"worker {label}: done after {leases_taken} lease(s)")
+                return 0
+            kind = message["type"]
+            if kind == "wait":
+                time.sleep(min(float(message.get("seconds", DEFAULT_POLL_SECONDS)), 2.0))
+                sock.sendall(encode_message({"type": "request"}))
+            elif kind == "lease":
+                leases_taken += 1
+                if crash_after_leases is not None and leases_taken > crash_after_leases:
+                    log(f"worker {label}: injected crash on lease {leases_taken}")
+                    sock.close()
+                    return 1
+                results = []
+                for index in message["indices"]:
+                    _, result = execute_trial(payloads[int(index)])
+                    results.append([int(index), _jsonify(result)])
+                sock.sendall(
+                    encode_message(
+                        {
+                            "type": "result",
+                            "lease_id": int(message["lease_id"]),
+                            "results": results,
+                        }
+                    )
+                )
+            else:
+                print(
+                    f"worker error: unexpected message type {kind!r}", file=sys.stderr
+                )
+                return 1
+    except PacketFormatError as exc:
+        print(f"worker error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        # Covers resets, refused writes and the io_timeout — a remote
+        # coordinator dying must be a one-line failure, not a traceback.
+        print(
+            f"worker error: connection to coordinator {host}:{port} failed ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+    finally:
+        sock.close()

@@ -653,6 +653,7 @@ register(
         build_trials=_microbench_trials,
         run_trial=_microbench_run,
         deterministic=False,  # wall-clock timings; never serve from cache
+        shardable=False,  # single-host comparison; numbers mean nothing sharded
     )
 )
 
@@ -743,6 +744,7 @@ register(
         build_trials=_anonbench_trials,
         run_trial=_anonbench_run,
         deterministic=False,  # wall-clock timings; never serve from cache
+        shardable=False,  # single-host comparison; numbers mean nothing sharded
     )
 )
 
@@ -779,6 +781,7 @@ register(
         build_trials=_dataplane_trials,
         run_trial=_dataplane_run,
         deterministic=False,  # wall-clock timings; never serve from cache
+        shardable=False,  # single-host comparison; numbers mean nothing sharded
     )
 )
 
@@ -865,6 +868,7 @@ register(
         build_trials=_chaumbench_trials,
         run_trial=_chaumbench_run,
         deterministic=False,  # wall-clock timings; never serve from cache
+        shardable=False,  # single-host comparison; numbers mean nothing sharded
     )
 )
 
@@ -872,6 +876,92 @@ register(
 def chaum_microbenchmark(scale: float = 1.0) -> list[dict]:
     """Fig. 7 microbenchmark: batched vs. scalar Chaum-mix Monte-Carlo engine."""
     return experiment_rows("chaumbench", scale=scale)
+
+
+# -- distributed-sharding benchmark ------------------------------------------------
+
+#: Experiment the distributed-sharding benchmark shards (fig11: four
+#: sizeable, roughly comparable throughput trials — the canonical
+#: dist-parity workload).
+DISTBENCH_EXPERIMENT = "fig11"
+
+#: The distbench acceptance target: sharding across 2 workers must beat a
+#: single worker's compute time by at least this factor at bench scale.
+DISTBENCH_TARGET_SPEEDUP = 1.5
+
+
+def _distbench_trials(scale: float) -> list[dict]:
+    # The *inner* scale sizes fig11's per-trial work (num_messages) so that
+    # trial execution dominates lease round-trips; the floor keeps the
+    # 2-worker speedup measurable even at the default bench scale of 0.1.
+    inner_scale = round(max(3.0 * scale, 1.5), 4)
+    return [{"experiment": DISTBENCH_EXPERIMENT, "inner_scale": inner_scale,
+             "worker_counts": [1, 2]}]
+
+
+def _distbench_run(params: dict, rng: np.random.Generator) -> dict:
+    import tempfile
+    from pathlib import Path
+
+    from .distributed import run_distributed
+    from .runner import run_experiment
+
+    name = params["experiment"]
+    inner_scale = params["inner_scale"]
+    worker_counts = list(params["worker_counts"])
+    seed = spawn_seed(rng)
+    compute_seconds: dict[int, float] = {}
+    byte_identical = True
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        reference = run_experiment(
+            name, scale=inner_scale, seed=seed, out_dir=root / "single", force=True
+        )
+        reference_bytes = (root / "single" / f"{name}.json").read_bytes()
+        for count in worker_counts:
+            out_dir = root / f"dist-{count}"
+            result = run_distributed(
+                name,
+                scale=inner_scale,
+                seed=seed,
+                out_dir=out_dir,
+                force=True,
+                workers=count,
+                min_workers=count,
+            )
+            compute_seconds[count] = result.compute_seconds
+            byte_identical &= (
+                out_dir / f"{name}.json"
+            ).read_bytes() == reference_bytes
+    base = worker_counts[0]
+    best = worker_counts[-1]
+    return {
+        "experiment": name,
+        "inner_scale": inner_scale,
+        "trials_sharded": reference.trial_count,
+        "workers": best,
+        f"seconds_{base}w": compute_seconds[base],
+        f"seconds_{best}w": compute_seconds[best],
+        "speedup": compute_seconds[base] / max(compute_seconds[best], 1e-12),
+        "byte_identical": byte_identical,
+    }
+
+
+register(
+    Experiment(
+        name="distbench",
+        title="Distributed sharding benchmark: fig11 leased to 2 workers vs. 1",
+        build_trials=_distbench_trials,
+        run_trial=_distbench_run,
+        deterministic=False,  # wall-clock timings; never serve from cache
+        shardable=False,  # it *runs* the coordinator; sharding it would nest fan-outs
+    )
+)
+
+
+def distributed_sharding_benchmark(scale: float = 1.0) -> list[dict]:
+    """Distributed sharding benchmark: coordinator/worker speedup on fig11."""
+    return experiment_rows("distbench", scale=scale)
 
 
 #: Backwards-compatible name → callable map (kept for tests and docs).
@@ -891,4 +981,5 @@ FIGURES = {
     "anonbench": anonymity_microbenchmark,
     "chaumbench": chaum_microbenchmark,
     "dataplane-bench": dataplane_microbenchmark,
+    "distbench": distributed_sharding_benchmark,
 }

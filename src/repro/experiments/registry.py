@@ -46,6 +46,14 @@ class Experiment:
     #: that drive the overlay substrate (figs. 11-15) also accept ``"aio"``;
     #: everything else is simulator-only and rejects ``--backend aio``.
     backends: tuple[str, ...] = ("sim",)
+    #: Whether the trial list may be sharded across machines by the
+    #: distributed coordinator (:mod:`~repro.experiments.distributed`).
+    #: Trials are already independent by construction, so this defaults to
+    #: True; the wall-clock microbenchmarks opt out — their measurements
+    #: compare engines *on one host*, and several spawn worker processes of
+    #: their own, so leasing their trials to remote machines would change
+    #: what the numbers mean (and nest process fan-outs).
+    shardable: bool = True
 
     def rows(self, trials: list[dict], results: list[dict]) -> list[dict]:
         """Reduce per-trial results (in trial order) to plottable rows."""

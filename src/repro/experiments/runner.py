@@ -96,11 +96,7 @@ def run_experiment(
         )
     seed = experiment.base_seed if seed is None else int(seed)
     started = time.perf_counter()
-    trials = _jsonify(experiment.build_trials(scale))
-    if len(experiment.backends) > 1:
-        # Backend-capable experiments carry the backend in every trial, so
-        # it reaches run_trial in workers and keys the artifact cache.
-        trials = [{**params, "backend": backend} for params in trials]
+    trials = build_trial_list(experiment, scale, backend)
     cacheable = experiment.deterministic and backend == "sim"
 
     artifact = None if out_dir is None else Path(out_dir) / f"{name}.json"
@@ -125,11 +121,10 @@ def run_experiment(
             )
 
     results = _run_trials(experiment, trials, seed, workers)
-    rows = _jsonify(experiment.rows(trials, results))
+    rows = reduce_rows(experiment, trials, results)
 
     if artifact is not None:
-        _write_artifact(artifact, experiment, scale, seed, trials, rows)
-        _write_parity_artifact(artifact, experiment, scale, seed, rows)
+        write_run_artifacts(artifact, experiment, scale, seed, trials, rows)
     return RunResult(
         name=name,
         scale=scale,
@@ -152,29 +147,48 @@ def experiment_rows(
 
 
 # -- execution ---------------------------------------------------------------------
+#
+# The three helpers below are the *shared trial-execution core*: the local
+# multiprocessing fan-out (`_run_trials`) and the distributed coordinator /
+# worker loop (:mod:`repro.experiments.distributed`) both build the same
+# trial list, derive the same per-trial seed sequences, and execute trials
+# through the same function — which is what makes a distributed run of a
+# deterministic experiment byte-identical to a single-process one.
 
 
-def _run_trials(
-    experiment: Experiment, trials: list[dict], seed: int, workers: int
-) -> list[dict]:
+def build_trial_list(experiment: Experiment, scale: float, backend: str = "sim") -> list[dict]:
+    """Expand an experiment's declarative parameters into its trial list.
+
+    Backend-capable experiments carry the backend in every trial, so it
+    reaches ``run_trial`` in workers and keys the artifact cache.  The
+    result is already JSON-hygienic: a distributed worker rebuilding this
+    list from ``(name, scale, backend)`` gets the exact dictionaries the
+    coordinator holds.
+    """
+    trials = _jsonify(experiment.build_trials(scale))
+    if len(experiment.backends) > 1:
+        trials = [{**params, "backend": backend} for params in trials]
+    return trials
+
+
+def trial_payloads(
+    name: str, trials: list[dict], seed: int
+) -> list[tuple[str, int, dict, np.random.SeedSequence]]:
+    """Per-trial execution payloads with deterministically spawned seeds.
+
+    ``SeedSequence.spawn`` derives child ``i`` purely from ``(seed, i)``, so
+    any process that knows the experiment name, trial list and root seed
+    reconstructs the identical payload for trial ``i`` — the property both
+    the local pool and the distributed workers rely on.
+    """
     children = np.random.SeedSequence(seed).spawn(len(trials))
-    payloads = [
-        (experiment.name, index, params, child)
+    return [
+        (name, index, params, child)
         for index, (params, child) in enumerate(zip(trials, children))
     ]
-    workers = min(workers, len(payloads)) or 1
-    if workers == 1:
-        indexed = [_execute_trial(payload) for payload in payloads]
-    else:
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=multiprocessing.get_context()
-        ) as pool:
-            indexed = list(pool.map(_execute_trial, payloads))
-    indexed.sort(key=lambda pair: pair[0])
-    return [result for _, result in indexed]
 
 
-def _execute_trial(
+def execute_trial(
     payload: tuple[str, int, dict, np.random.SeedSequence],
 ) -> tuple[int, dict]:
     """Run one trial; module-level so it pickles into worker processes."""
@@ -182,6 +196,27 @@ def _execute_trial(
     experiment = get_experiment(name)
     rng = np.random.default_rng(seed_sequence)
     return index, experiment.run_trial(params, rng)
+
+
+def reduce_rows(experiment: Experiment, trials: list[dict], results: list[dict]) -> list[dict]:
+    """Fold per-trial results (in trial order) into JSON-hygienic rows."""
+    return _jsonify(experiment.rows(trials, results))
+
+
+def _run_trials(
+    experiment: Experiment, trials: list[dict], seed: int, workers: int
+) -> list[dict]:
+    payloads = trial_payloads(experiment.name, trials, seed)
+    workers = min(workers, len(payloads)) or 1
+    if workers == 1:
+        indexed = [execute_trial(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=multiprocessing.get_context()
+        ) as pool:
+            indexed = list(pool.map(execute_trial, payloads))
+    indexed.sort(key=lambda pair: pair[0])
+    return [result for _, result in indexed]
 
 
 # -- artifacts ---------------------------------------------------------------------
@@ -227,6 +262,25 @@ def _write_artifact(
     rows: list[dict],
 ) -> None:
     _atomic_write_json(artifact, _artifact_document(experiment, scale, seed, trials, rows))
+
+
+def write_run_artifacts(
+    artifact: Path,
+    experiment: Experiment,
+    scale: float,
+    seed: int,
+    trials: list[dict],
+    rows: list[dict],
+) -> None:
+    """Write the canonical artifact plus its parity mirror (if rows carry one).
+
+    This is the single artifact-serialisation path: the local runner and the
+    distributed coordinator both land here, so a distributed run's merged
+    artifact is byte-identical to the single-process one for the same
+    ``(experiment, scale, seed)``.
+    """
+    _write_artifact(artifact, experiment, scale, seed, trials, rows)
+    _write_parity_artifact(artifact, experiment, scale, seed, rows)
 
 
 def _write_parity_artifact(

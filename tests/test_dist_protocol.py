@@ -1,0 +1,253 @@
+"""Property tests for the distributed coordinator's wire protocol.
+
+Mirrors ``tests/test_wire_format.py`` for the coordinator/worker plane: the
+protocol ships length-prefixed canonical-JSON frames over TCP (the same
+framing discipline as the asyncio overlay backend), so these tests drive the
+encode→decode round trip of lease and result messages with hypothesis, check
+that truncated and oversized frames are rejected rather than mis-parsed, and
+exercise the lease ledger's idempotence guarantees (duplicate results, stale
+leases, expiry re-dispatch).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import PacketFormatError
+from repro.experiments.distributed import (
+    Lease,
+    TrialLedger,
+    decode_message,
+    encode_message,
+    trials_digest,
+)
+from repro.overlay.aio import FRAME_HEADER, MAX_FRAME_BYTES, decode_frames
+
+# JSON-able scalar values as they appear in trial rows.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**53), 2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+
+#: Row-shaped dictionaries: string keys, scalar or shallow-list values.
+_rows = st.dictionaries(
+    st.text(min_size=1, max_size=12),
+    st.one_of(_scalars, st.lists(_scalars, max_size=4)),
+    max_size=6,
+)
+
+
+@st.composite
+def lease_messages(draw):
+    indices = draw(st.lists(st.integers(0, 2**32), min_size=1, max_size=16))
+    return {
+        "type": "lease",
+        "lease_id": draw(st.integers(1, 2**53)),
+        "indices": indices,
+    }
+
+
+@st.composite
+def result_messages(draw):
+    entries = draw(
+        st.lists(
+            st.tuples(st.integers(0, 2**32), _rows), min_size=1, max_size=8
+        )
+    )
+    return {
+        "type": "result",
+        "lease_id": draw(st.integers(1, 2**53)),
+        "results": [[index, row] for index, row in entries],
+    }
+
+
+@given(message=st.one_of(lease_messages(), result_messages()))
+@settings(max_examples=150, deadline=None)
+def test_lease_and_result_frames_round_trip(message):
+    frame = encode_message(message)
+    (payload,) = decode_frames(frame)
+    assert decode_message(payload) == message
+
+
+@given(message=result_messages())
+@settings(max_examples=50, deadline=None)
+def test_row_key_order_survives_the_wire(message):
+    # The artifact serialisation preserves row insertion order, so the
+    # envelope must not re-order what it carries.
+    frame = encode_message(message)
+    (payload,) = decode_frames(frame)
+    decoded = decode_message(payload)
+    for original, parsed in zip(message["results"], decoded["results"]):
+        assert list(original[1]) == list(parsed[1])
+
+
+@given(
+    messages=st.lists(
+        st.one_of(lease_messages(), result_messages()), min_size=1, max_size=4
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_concatenated_message_frames_decode_in_order(messages):
+    wire = b"".join(encode_message(m) for m in messages)
+    payloads = decode_frames(wire)
+    assert [decode_message(p) for p in payloads] == messages
+
+
+@given(message=st.one_of(lease_messages(), result_messages()), data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_truncated_message_frames_are_rejected(message, data):
+    frame = encode_message(message)
+    cut = data.draw(st.integers(1, len(frame) - 1), label="cut")
+    with pytest.raises(PacketFormatError):
+        decode_frames(frame[:cut])
+
+
+def test_oversized_message_is_rejected_on_encode():
+    huge = {"type": "result", "blob": "x" * (MAX_FRAME_BYTES + 1)}
+    with pytest.raises(PacketFormatError):
+        encode_message(huge)
+
+
+def test_oversized_frame_is_rejected_on_decode():
+    wire = FRAME_HEADER.pack(MAX_FRAME_BYTES + 1) + b"x"
+    with pytest.raises(PacketFormatError):
+        decode_frames(wire)
+
+
+def test_non_message_payloads_are_rejected():
+    with pytest.raises(PacketFormatError):
+        decode_message(b"\xff\xfe not json")
+    with pytest.raises(PacketFormatError):
+        decode_message(json.dumps([1, 2, 3]).encode())  # not a dict
+    with pytest.raises(PacketFormatError):
+        decode_message(json.dumps({"no_type": 1}).encode())  # no "type"
+    with pytest.raises(PacketFormatError):
+        encode_message({"type": 7})  # non-string type
+    with pytest.raises(PacketFormatError):
+        encode_message(["type"])  # not a dict
+
+
+@given(
+    trials=st.lists(
+        st.dictionaries(st.text(min_size=1, max_size=8), _scalars, max_size=4),
+        max_size=6,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_trials_digest_is_deterministic_and_order_sensitive(trials):
+    assert trials_digest(trials) == trials_digest(json.loads(json.dumps(trials)))
+    if len(trials) >= 2 and trials[0] != trials[1]:
+        swapped = [trials[1], trials[0], *trials[2:]]
+        assert trials_digest(swapped) != trials_digest(trials)
+
+
+# -- lease ledger properties --------------------------------------------------------
+
+
+@given(
+    total=st.integers(0, 40),
+    chunk=st.integers(1, 7),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_ledger_completes_every_index_exactly_once(total, chunk, data):
+    ledger = TrialLedger(total, chunk_size=chunk, lease_seconds=10.0)
+    now = 0.0
+    while not ledger.done:
+        lease = ledger.lease("w", now)
+        assert lease is not None  # work must always remain leasable until done
+        deliver_twice = data.draw(st.booleans(), label="deliver_twice")
+        results = {index: {"index": index} for index in lease.indices}
+        newly = ledger.complete(lease.lease_id, results)
+        assert newly == len(lease.indices)
+        if deliver_twice:
+            # Duplicate delivery of the same lease changes nothing.
+            assert ledger.complete(lease.lease_id, results) == 0
+    assert ledger.lease("w", now) is None
+    rows = ledger.results_in_order()
+    assert [row["index"] for row in rows] == list(range(total))
+
+
+@given(total=st.integers(1, 30), chunk=st.integers(1, 5), data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_ledger_redispatch_preserves_exactly_once_results(total, chunk, data):
+    """Leases lost to death or expiry are re-enqueued; first result wins."""
+    ledger = TrialLedger(total, chunk_size=chunk, lease_seconds=1.0)
+    now = 0.0
+    stale: list[Lease] = []
+    while not ledger.done:
+        worker = data.draw(st.sampled_from(["a", "b"]), label="worker")
+        lease = ledger.lease(worker, now)
+        if lease is None:
+            break
+        fate = data.draw(st.sampled_from(["complete", "die", "expire"]), label="fate")
+        if fate == "complete":
+            ledger.complete(
+                lease.lease_id, {i: {"by": worker, "index": i} for i in lease.indices}
+            )
+        elif fate == "die":
+            stale.append(lease)
+            released = ledger.release_worker(worker)
+            assert lease in released  # its indices went back in the queue
+        else:
+            stale.append(lease)
+            now += 2.0  # past the 1-second lease lifetime
+            assert lease in ledger.expire(now)
+    # Finish whatever is left, then replay every stale lease as a duplicate.
+    while not ledger.done:
+        lease = ledger.lease("c", now)
+        assert lease is not None
+        ledger.complete(
+            lease.lease_id, {i: {"by": "c", "index": i} for i in lease.indices}
+        )
+    before = ledger.results_in_order()
+    for lease in stale:
+        ledger.complete(
+            lease.lease_id, {i: {"by": "late", "index": i} for i in lease.indices}
+        )
+    assert ledger.results_in_order() == before  # stale deliveries are no-ops
+    assert [row["index"] for row in before] == list(range(total))
+
+
+def test_ledger_rejects_out_of_range_results_without_losing_the_lease():
+    ledger = TrialLedger(3, chunk_size=2, lease_seconds=5.0)
+    lease = ledger.lease("w", 0.0)
+    with pytest.raises(PacketFormatError):
+        ledger.complete(lease.lease_id, {0: {}, 99: {}})
+    # Validation happens before any state change: nothing was recorded, and
+    # the lease is still outstanding, so expiry/death re-dispatch can
+    # reclaim its indices — no index is ever stranded.
+    assert ledger.completed == 0
+    assert lease in ledger.outstanding()
+    assert lease in ledger.expire(10.0)
+    while not ledger.done:
+        grant = ledger.lease("w2", 10.0)
+        ledger.complete(grant.lease_id, {i: {"index": i} for i in grant.indices})
+    assert [row["index"] for row in ledger.results_in_order()] == [0, 1, 2]
+
+
+def test_ledger_requeues_indices_a_partial_result_frame_left_uncovered():
+    ledger = TrialLedger(4, chunk_size=4, lease_seconds=5.0)
+    lease = ledger.lease("w", 0.0)
+    assert lease.indices == (0, 1, 2, 3)
+    # The frame covers only half the lease; the other half must go back in
+    # the queue rather than being stranded with the lease retired.
+    assert ledger.complete(lease.lease_id, {0: {"index": 0}, 2: {"index": 2}}) == 2
+    assert not ledger.outstanding()
+    regrant = ledger.lease("w", 0.0)
+    assert regrant is not None and set(regrant.indices) == {1, 3}
+    ledger.complete(regrant.lease_id, {i: {"index": i} for i in regrant.indices})
+    assert ledger.done
+
+
+def test_ledger_validates_construction():
+    with pytest.raises(ValueError):
+        TrialLedger(-1)
+    with pytest.raises(ValueError):
+        TrialLedger(4, chunk_size=0)
+    with pytest.raises(ValueError):
+        TrialLedger(4, lease_seconds=0.0)
