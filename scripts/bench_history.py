@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Collect the benchmark speedup gates into BENCH_trajectory.json.
+
+``collect`` reads whichever gate artifacts (anonbench, chaumbench,
+dataplane-bench, distbench) exist in the given results directories and
+upserts one entry per ``--label`` into the versioned trajectory file;
+``render`` prints the trajectory as the markdown trend table that the
+scenario report embeds.
+
+Usage:
+    python scripts/bench_history.py collect --label pr6 \
+        --results results [--results more/results] [--out BENCH_trajectory.json]
+    python scripts/bench_history.py render [--trajectory BENCH_trajectory.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+try:
+    from repro.experiments import bench_history
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.experiments import bench_history
+
+DEFAULT_TRAJECTORY = REPO_ROOT / "BENCH_trajectory.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    collect = subparsers.add_parser("collect", help="record gate speedups for a label")
+    collect.add_argument("--label", required=True, help="entry label (PR number or commit)")
+    collect.add_argument(
+        "--results",
+        action="append",
+        type=Path,
+        default=None,
+        help="results directory to probe for gate artifacts (repeatable)",
+    )
+    collect.add_argument("--out", type=Path, default=DEFAULT_TRAJECTORY)
+
+    render = subparsers.add_parser("render", help="print the trajectory trend table")
+    render.add_argument("--trajectory", type=Path, default=DEFAULT_TRAJECTORY)
+
+    args = parser.parse_args(argv)
+    if args.command == "collect":
+        results_dirs = args.results or [REPO_ROOT / "results"]
+        try:
+            trajectory, missing = bench_history.collect(args.label, results_dirs, args.out)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        entry = next(e for e in trajectory["entries"] if e["label"] == args.label)
+        print(f"{args.out}: label {args.label!r} records {len(entry['gates'])} gate(s)")
+        for gate in missing:
+            print(f"  missing artifact for gate {gate!r}", file=sys.stderr)
+        return 0
+    print(bench_history.render_trend(bench_history.load_trajectory(args.trajectory)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

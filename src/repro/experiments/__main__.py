@@ -5,8 +5,10 @@ Subcommands::
     python -m repro.experiments run <name> [...] [--workers N] [--scale S]
                                     [--out DIR] [--seed N] [--force]
                                     [--backend sim|aio] [--dist N]
+                                    [--matrix SPEC ...]
     python -m repro.experiments coordinate <name> [--port P] [--scale S] [...]
-    python -m repro.experiments worker --port P [--host H] [...]
+    python -m repro.experiments worker --port P [--host H] [--matrix SPEC] [...]
+    python -m repro.experiments report --matrix SPEC [--results DIR] [...]
     python -m repro.experiments list
 
 ``run`` executes registered experiments through the parallel runner and
@@ -22,6 +24,13 @@ subsystem separately (the coordinator leases trial chunks over TCP and
 merges the results into the same canonical artifact).  ``list`` prints
 every registered experiment.
 
+``--matrix SPEC`` registers the cells of a scenario-matrix spec file
+(:mod:`repro.experiments.scenarios`) before dispatch; with ``run`` and no
+explicit names, all of the matrix's cells run.  ``report`` merges the cell
+artifacts of a matrix into ``scenario_report.json`` plus a markdown page
+(:mod:`repro.experiments.report`), with optional baseline-delta and
+bench-trajectory sections.
+
 The legacy invocation ``python -m repro.experiments [fig07 ...] [--scale S]``
 still works: it runs the named figures inline and prints their tables.
 """
@@ -35,7 +44,7 @@ from .registry import experiment_names, get_experiment
 from .runner import DEFAULT_RESULTS_DIR, run_experiment
 from .tables import format_table
 
-_SUBCOMMANDS = ("run", "list", "coordinate", "worker")
+_SUBCOMMANDS = ("run", "list", "coordinate", "worker", "report")
 
 
 def _positive_float(raw: str) -> float:
@@ -66,9 +75,17 @@ def _dispatch(argv: list[str]) -> int:
     )
     run_parser.add_argument(
         "names",
-        nargs="+",
+        nargs="*",
         metavar="name",
-        help="registered experiment names (see the 'list' subcommand)",
+        help="registered experiment names (see the 'list' subcommand); "
+        "defaults to every cell of the --matrix spec(s) when omitted",
+    )
+    run_parser.add_argument(
+        "--matrix",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="scenario-matrix spec file whose cells to register (repeatable)",
     )
     # Validated in _run_command (not via argparse type=) so that a bad count
     # is a one-line stderr error like the unknown-name/unsupported-backend
@@ -170,6 +187,13 @@ def _dispatch(argv: list[str]) -> int:
         help="abort if the run has not completed after this many seconds",
     )
     coordinate_parser.add_argument(
+        "--matrix",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="scenario-matrix spec file whose cells to register (repeatable)",
+    )
+    coordinate_parser.add_argument(
         "--force",
         action="store_true",
         help="recompute even if a matching artifact exists",
@@ -201,10 +225,65 @@ def _dispatch(argv: list[str]) -> int:
         help="fault injection: die abruptly upon receiving lease N+1 "
         "(exercises the coordinator's re-dispatch path)",
     )
+    worker_parser.add_argument(
+        "--matrix",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="scenario-matrix spec file whose cells to register before "
+        "serving leases (remote workers that did not inherit "
+        "REPRO_SCENARIO_MATRIX)",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="merge a matrix's cell artifacts into the consolidated report",
+    )
+    report_parser.add_argument(
+        "--matrix",
+        required=True,
+        metavar="SPEC",
+        help="scenario-matrix spec file to report on",
+    )
+    report_parser.add_argument(
+        "--results",
+        default=str(DEFAULT_RESULTS_DIR),
+        help="directory holding the cell artifacts (default: results/)",
+    )
+    report_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="consolidated JSON output (default: <results>/scenario_report.json)",
+    )
+    report_parser.add_argument(
+        "--md",
+        default="docs/scenario-report.md",
+        metavar="PATH",
+        help="markdown output (default: docs/scenario-report.md; "
+        "'-' skips markdown)",
+    )
+    report_parser.add_argument(
+        "--baseline",
+        default="docs/scenario-baseline.json",
+        metavar="PATH",
+        help="baseline report snapshot for regression deltas "
+        "(default: docs/scenario-baseline.json; missing file = no deltas)",
+    )
+    report_parser.add_argument(
+        "--trajectory",
+        default="BENCH_trajectory.json",
+        metavar="PATH",
+        help="bench trajectory file for the trend table "
+        "(default: BENCH_trajectory.json; missing file = no trend section)",
+    )
 
     subparsers.add_parser("list", help="list registered experiments")
 
     args = parser.parse_args(argv)
+    matrices, code = _register_matrices(getattr(args, "matrix", None))
+    if code:
+        return code
     if args.command == "list":
         for name in experiment_names():
             print(f"{name:24s} {get_experiment(name).title}")
@@ -213,7 +292,24 @@ def _dispatch(argv: list[str]) -> int:
         return _coordinate_command(args)
     if args.command == "worker":
         return _worker_command(args)
-    return _run_command(args)
+    if args.command == "report":
+        return _report_command(args, matrices[0])
+    return _run_command(args, matrices)
+
+
+def _register_matrices(paths: list[str] | str | None):
+    """Register the spec file(s) named by ``--matrix``; spec errors exit 2."""
+    from .scenarios import ScenarioSpecError, register_matrix_file
+
+    if paths is None:
+        return [], 0
+    matrices = []
+    for path in [paths] if isinstance(paths, str) else paths:
+        try:
+            matrices.append(register_matrix_file(path))
+        except ScenarioSpecError as error:
+            return [], _fail(str(error))
+    return matrices, 0
 
 
 def _fail(message: str) -> int:
@@ -266,7 +362,15 @@ def _print_result(name: str, result) -> None:
         print(f"artifact: {result.artifact}")
 
 
-def _run_command(args: argparse.Namespace) -> int:
+def _run_command(args: argparse.Namespace, matrices: list) -> int:
+    if not args.names:
+        if not matrices:
+            return _fail("no experiment names given (and no --matrix to default to)")
+        from .scenarios import expand_matrix
+
+        args.names = [
+            cell.name for matrix in matrices for cell in expand_matrix(matrix)
+        ]
     if args.workers < 1:
         return _fail(f"--workers must be >= 1, got {args.workers}")
     if args.dist is not None and args.dist < 1:
@@ -370,6 +474,36 @@ def _worker_command(args: argparse.Namespace) -> int:
         connect_timeout=args.connect_timeout,
         log=lambda message: print(message, file=sys.stderr),
     )
+
+
+def _report_command(args: argparse.Namespace, matrix) -> int:
+    from pathlib import Path
+
+    from .report import write_report
+
+    results_dir = Path(args.results)
+    json_path = (
+        Path(args.json) if args.json else results_dir / "scenario_report.json"
+    )
+    md_path = None if args.md == "-" else Path(args.md)
+    report = write_report(
+        matrix,
+        results_dir,
+        json_path=json_path,
+        md_path=md_path,
+        baseline_path=args.baseline,
+        trajectory_path=args.trajectory,
+    )
+    summary = report["summary"]
+    print(
+        f"report for matrix {matrix.name!r}: {summary['cells']} cell(s), "
+        f"{summary['complete']} complete, {summary['partial']} partial, "
+        f"{summary['missing']} missing"
+    )
+    print(f"json: {json_path}")
+    if md_path is not None:
+        print(f"markdown: {md_path}")
+    return 0
 
 
 def _legacy_main(argv: list[str]) -> int:

@@ -1,0 +1,167 @@
+"""Per-PR bench trajectory: the speedup gates as one versioned JSON file.
+
+CI runs four benchmark gates — ``anonbench`` (vectorised anonymity
+Monte-Carlo), ``chaumbench`` (vectorised Chaum-mix Monte-Carlo),
+``dataplane-bench`` (batched overlay data plane) and ``distbench``
+(coordinator/worker sharding) — and uploads their artifacts per run, but
+uploaded artifacts expire: nothing in-repo showed how the speedups move
+PR over PR.  This module maintains ``BENCH_trajectory.json``: one entry per
+label (a PR number or commit), each recording the median and minimum
+measured speedup of every gate next to the gate's enforced target.
+
+``scripts/bench_history.py`` is the CLI wrapper (``collect`` / ``render``);
+:func:`render_trend` also feeds the trend table in the generated scenario
+report (:mod:`repro.experiments.report`).
+
+Entries deliberately carry no timestamps: the file is regenerated in CI and
+compared across runs, so everything in it must be a pure function of the
+bench artifacts and the ``--label`` argument.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from pathlib import Path
+
+from .runner import serialise_artifact
+
+TRAJECTORY_VERSION = 1
+
+#: Gate name -> enforced speedup target and the artifact filenames to probe
+#: (the runner's ``results/<name>.json`` plus the CI upload aliases).
+GATES: dict[str, dict] = {
+    "anonbench": {"target": 10.0, "files": ("anonbench.json", "BENCH_anon.json")},
+    "chaumbench": {"target": 10.0, "files": ("chaumbench.json", "BENCH_chaum.json")},
+    "dataplane-bench": {
+        "target": 5.0,
+        "files": ("dataplane-bench.json", "BENCH_dataplane.json"),
+    },
+    "distbench": {"target": 1.5, "files": ("distbench.json", "BENCH_dist.json")},
+}
+
+
+def summarise_gate(document: dict) -> dict:
+    """Condense one bench artifact's rows into the trajectory fields.
+
+    Every gate experiment reports a ``speedup`` column per row; the median is
+    what the benchmark suites assert against, the minimum shows the worst
+    parameter point.
+
+    >>> doc = {"rows": [{"speedup": 12.0}, {"speedup": 20.0}, {"speedup": 14.0}]}
+    >>> summarise_gate(doc)
+    {'median_speedup': 14.0, 'min_speedup': 12.0, 'rows': 3}
+    """
+    speedups = [
+        float(row["speedup"])
+        for row in document.get("rows", [])
+        if isinstance(row, dict) and "speedup" in row
+    ]
+    if not speedups:
+        raise ValueError("bench artifact has no rows with a 'speedup' field")
+    return {
+        "median_speedup": round(statistics.median(speedups), 4),
+        "min_speedup": round(min(speedups), 4),
+        "rows": len(speedups),
+    }
+
+
+def find_gate_artifact(gate: str, results_dirs: list[Path]) -> Path | None:
+    """First existing artifact for ``gate`` across the candidate directories."""
+    for directory in results_dirs:
+        for filename in GATES[gate]["files"]:
+            candidate = Path(directory) / filename
+            if candidate.is_file():
+                return candidate
+    return None
+
+
+def collect_entry(label: str, results_dirs: list[Path]) -> tuple[dict, list[str]]:
+    """Build one trajectory entry from whatever gate artifacts are present.
+
+    Returns the entry plus the list of gates that had no artifact — missing
+    gates degrade to absent keys rather than failures, so a partial bench
+    run still records what it measured.
+    """
+    gates: dict[str, dict] = {}
+    missing: list[str] = []
+    for gate in sorted(GATES):
+        artifact = find_gate_artifact(gate, results_dirs)
+        if artifact is None:
+            missing.append(gate)
+            continue
+        document = json.loads(artifact.read_text(encoding="utf-8"))
+        gates[gate] = {"target": GATES[gate]["target"], **summarise_gate(document)}
+    return {"label": label, "gates": gates}, missing
+
+
+def load_trajectory(path: Path) -> dict:
+    """Load an existing trajectory file, or start a fresh one."""
+    path = Path(path)
+    if not path.is_file():
+        return {"version": TRAJECTORY_VERSION, "entries": []}
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if document.get("version") != TRAJECTORY_VERSION or not isinstance(
+        document.get("entries"), list
+    ):
+        raise ValueError(f"{path} is not a version-{TRAJECTORY_VERSION} trajectory file")
+    return document
+
+
+def upsert_entry(trajectory: dict, entry: dict) -> dict:
+    """Replace the entry with the same label in place, or append a new one.
+
+    Re-running collection for one label (a re-triggered CI run) updates that
+    label's measurements without duplicating or re-ordering history.
+
+    >>> trajectory = {"version": 1, "entries": [{"label": "pr1", "gates": {}}]}
+    >>> updated = upsert_entry(trajectory, {"label": "pr1", "gates": {"x": 1}})
+    >>> [e["label"] for e in updated["entries"]]
+    ['pr1']
+    >>> updated = upsert_entry(updated, {"label": "pr2", "gates": {}})
+    >>> [e["label"] for e in updated["entries"]]
+    ['pr1', 'pr2']
+    """
+    entries = list(trajectory.get("entries", []))
+    for index, existing in enumerate(entries):
+        if existing.get("label") == entry["label"]:
+            entries[index] = entry
+            break
+    else:
+        entries.append(entry)
+    return {"version": TRAJECTORY_VERSION, "entries": entries}
+
+
+def collect(label: str, results_dirs: list[Path], path: Path) -> tuple[dict, list[str]]:
+    """Collect the current gate artifacts into the trajectory file at ``path``."""
+    entry, missing = collect_entry(label, results_dirs)
+    trajectory = upsert_entry(load_trajectory(path), entry)
+    Path(path).write_text(serialise_artifact(trajectory), encoding="utf-8")
+    return trajectory, missing
+
+
+def render_trend(trajectory: dict) -> str:
+    """The trajectory as a markdown trend table (one row per label).
+
+    >>> print(render_trend({"version": 1, "entries": [
+    ...     {"label": "pr5", "gates": {"distbench": {"target": 1.5,
+    ...                                              "median_speedup": 2.1}}}]}))
+    | label | anonbench (≥10×) | chaumbench (≥10×) | dataplane-bench (≥5×) | distbench (≥1.5×) |
+    |---|---|---|---|---|
+    | pr5 | — | — | — | 2.1× |
+    """
+    gate_names = sorted(GATES)
+    header = "| label | " + " | ".join(
+        f"{gate} (≥{GATES[gate]['target']:g}×)" for gate in gate_names
+    ) + " |"
+    separator = "|" + "---|" * (len(gate_names) + 1)
+    lines = [header, separator]
+    for entry in trajectory.get("entries", []):
+        cells = []
+        for gate in gate_names:
+            measured = entry.get("gates", {}).get(gate)
+            cells.append(
+                f"{measured['median_speedup']:g}×" if measured else "—"
+            )
+        lines.append(f"| {entry.get('label', '?')} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

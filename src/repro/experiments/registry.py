@@ -96,3 +96,10 @@ def _ensure_definitions_loaded() -> None:
     # also what makes worker processes (which receive only experiment names)
     # see the same registry as the parent.
     from . import ablations, figures  # noqa: F401
+
+    # Scenario-matrix cells are registered from spec files rather than module
+    # import; re-loading the specs named in REPRO_SCENARIO_MATRIX is how pool
+    # and distributed workers see the same dynamically registered cells.
+    from .scenarios import load_env_matrices
+
+    load_env_matrices()
