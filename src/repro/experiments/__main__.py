@@ -122,6 +122,16 @@ def _dispatch(argv: list[str]) -> int:
         help="overlay transport backend for figs. 11-15: 'sim' (discrete-event, "
         "default) or 'aio' (asyncio localhost TCP)",
     )
+    # Validated in _run_command via the runner's validate_scheme so an
+    # unsupported scheme/backend pairing is a one-line exit-2 error listing
+    # the supported schemes, not a usage dump.
+    run_parser.add_argument(
+        "--scheme",
+        default=None,
+        metavar="NAME",
+        help="restrict a scheme-capable experiment (figs. 11-15) to one "
+        "registered protocol runtime (slicing, onion, onion-erasure, sphinx)",
+    )
     run_parser.add_argument(
         "--force",
         action="store_true",
@@ -163,6 +173,12 @@ def _dispatch(argv: list[str]) -> int:
         choices=SUBSTRATE_BACKENDS,
         default="sim",
         help="overlay transport backend workers run trials on (default: sim)",
+    )
+    coordinate_parser.add_argument(
+        "--scheme",
+        default=None,
+        metavar="NAME",
+        help="restrict a scheme-capable experiment to one protocol runtime",
     )
     coordinate_parser.add_argument(
         "--chunk", type=int, default=1, help="trial indices per lease (default: 1)"
@@ -338,12 +354,28 @@ def _validate_names(names: list[str], backend: str) -> int:
     return 0
 
 
+def _validate_scheme(names: list[str], scheme: str | None, backend: str) -> int:
+    """Per-experiment --scheme validation: one-line exit-2 usage errors."""
+    if scheme is None:
+        return 0
+    from .runner import validate_scheme
+
+    for name in names:
+        try:
+            validate_scheme(get_experiment(name), scheme, backend)
+        except ValueError as error:
+            return _fail(str(error))
+    return 0
+
+
 def _print_result(name: str, result) -> None:
     """Shared table printing for RunResult and DistributedRunResult."""
     status = "cached" if result.cached else f"{result.elapsed_seconds:.2f}s"
     header = f"scale={result.scale}, seed={result.seed}"
     if result.backend != "sim":
         header += f", backend={result.backend}"
+    if getattr(result, "scheme", None):
+        header += f", scheme={result.scheme}"
     workers_seen = getattr(result, "workers_seen", 0)
     if workers_seen:
         header += f", dist-workers={workers_seen}"
@@ -383,6 +415,9 @@ def _run_command(args: argparse.Namespace, matrices: list) -> int:
     code = _validate_names(args.names, args.backend)
     if code:
         return code
+    code = _validate_scheme(args.names, args.scheme, args.backend)
+    if code:
+        return code
     if args.dist is not None:
         unshardable = [
             name for name in args.names if not get_experiment(name).shardable
@@ -403,6 +438,7 @@ def _run_command(args: argparse.Namespace, matrices: list) -> int:
                 out_dir=args.out,
                 force=args.force,
                 backend=args.backend,
+                scheme=args.scheme,
                 workers=args.dist,
             )
         else:
@@ -414,6 +450,7 @@ def _run_command(args: argparse.Namespace, matrices: list) -> int:
                 out_dir=args.out,
                 force=args.force,
                 backend=args.backend,
+                scheme=args.scheme,
             )
         _print_result(name, result)
     return 0
@@ -423,6 +460,9 @@ def _coordinate_command(args: argparse.Namespace) -> int:
     from .distributed import run_distributed
 
     code = _validate_names([args.name], args.backend)
+    if code:
+        return code
+    code = _validate_scheme([args.name], args.scheme, args.backend)
     if code:
         return code
     if not get_experiment(args.name).shardable:
@@ -443,6 +483,7 @@ def _coordinate_command(args: argparse.Namespace) -> int:
         out_dir=args.out,
         force=args.force,
         backend=args.backend,
+        scheme=args.scheme,
         host=args.host,
         port=args.port,
         workers=0,

@@ -1,9 +1,10 @@
 """Per-PR bench trajectory: the speedup gates as one versioned JSON file.
 
-CI runs four benchmark gates — ``anonbench`` (vectorised anonymity
+CI runs five benchmark gates — ``anonbench`` (vectorised anonymity
 Monte-Carlo), ``chaumbench`` (vectorised Chaum-mix Monte-Carlo),
-``dataplane-bench`` (batched overlay data plane) and ``distbench``
-(coordinator/worker sharding) — and uploads their artifacts per run, but
+``dataplane-bench`` (batched overlay data plane), ``distbench``
+(coordinator/worker sharding) and ``sphinxbench`` (batched Sphinx cell
+masking) — and uploads their artifacts per run, but
 uploaded artifacts expire: nothing in-repo showed how the speedups move
 PR over PR.  This module maintains ``BENCH_trajectory.json``: one entry per
 label (a PR number or commit), each recording the median and minimum
@@ -38,6 +39,10 @@ GATES: dict[str, dict] = {
         "files": ("dataplane-bench.json", "BENCH_dataplane.json"),
     },
     "distbench": {"target": 1.5, "files": ("distbench.json", "BENCH_dist.json")},
+    "sphinxbench": {
+        "target": 2.0,
+        "files": ("sphinxbench.json", "BENCH_sphinx.json"),
+    },
 }
 
 
@@ -146,9 +151,9 @@ def render_trend(trajectory: dict) -> str:
     >>> print(render_trend({"version": 1, "entries": [
     ...     {"label": "pr5", "gates": {"distbench": {"target": 1.5,
     ...                                              "median_speedup": 2.1}}}]}))
-    | label | anonbench (≥10×) | chaumbench (≥10×) | dataplane-bench (≥5×) | distbench (≥1.5×) |
-    |---|---|---|---|---|
-    | pr5 | — | — | — | 2.1× |
+    | label | anonbench (≥10×) | chaumbench (≥10×) | dataplane-bench (≥5×) | distbench (≥1.5×) | sphinxbench (≥2×) |
+    |---|---|---|---|---|---|
+    | pr5 | — | — | — | 2.1× | — |
     """
     gate_names = sorted(GATES)
     header = "| label | " + " | ".join(

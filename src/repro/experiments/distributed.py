@@ -86,6 +86,7 @@ from .runner import (
     execute_trial,
     reduce_rows,
     trial_payloads,
+    validate_scheme,
     write_run_artifacts,
 )
 
@@ -309,6 +310,7 @@ class DistributedRunResult:
     compute_seconds: float
     workers_seen: int
     redispatched: int
+    scheme: str | None = None
 
 
 @dataclass
@@ -341,6 +343,7 @@ class Coordinator:
         scale: float,
         seed: int,
         backend: str = "sim",
+        scheme: str | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
@@ -356,6 +359,7 @@ class Coordinator:
         self.scale = scale
         self.seed = seed
         self.backend = backend
+        self.scheme = scheme
         self.host = host
         self.port = port
         self.lease_seconds = lease_seconds
@@ -502,6 +506,7 @@ class Coordinator:
                     "scale": self.scale,
                     "seed": self.seed,
                     "backend": self.backend,
+                    "scheme": self.scheme,
                     "trial_count": state.ledger.total,
                     "trials_digest": self._digest,
                 },
@@ -588,6 +593,7 @@ def run_distributed(
     out_dir: str | Path | None = None,
     force: bool = False,
     backend: str = "sim",
+    scheme: str | None = None,
     host: str = "127.0.0.1",
     port: int = 0,
     workers: int = 0,
@@ -627,9 +633,11 @@ def run_distributed(
             f"experiment {name!r} does not support backend {backend!r} "
             f"(supported: {supported})"
         )
+    if scheme is not None:
+        validate_scheme(experiment, scheme, backend)
     seed = experiment.base_seed if seed is None else int(seed)
     started = time.perf_counter()
-    trials = build_trial_list(experiment, scale, backend)
+    trials = build_trial_list(experiment, scale, backend, scheme)
     cacheable = experiment.deterministic and backend == "sim"
 
     artifact = None if out_dir is None else Path(out_dir) / f"{name}.json"
@@ -652,6 +660,7 @@ def run_distributed(
                 compute_seconds=0.0,
                 workers_seen=0,
                 redispatched=0,
+                scheme=scheme,
             )
 
     coordinator = Coordinator(
@@ -660,6 +669,7 @@ def run_distributed(
         scale=scale,
         seed=seed,
         backend=backend,
+        scheme=scheme,
         host=host,
         port=port,
         chunk_size=chunk_size,
@@ -685,6 +695,7 @@ def run_distributed(
         compute_seconds=coordinator.state.compute_seconds,
         workers_seen=coordinator.state.workers_seen,
         redispatched=coordinator.state.redispatched,
+        scheme=scheme,
     )
 
 
@@ -785,8 +796,12 @@ def run_worker(
                 file=sys.stderr,
             )
             return 1
+        scheme = job.get("scheme")
         trials = build_trial_list(
-            experiment, float(job["scale"]), str(job.get("backend", "sim"))
+            experiment,
+            float(job["scale"]),
+            str(job.get("backend", "sim")),
+            None if scheme is None else str(scheme),
         )
         if (
             len(trials) != job.get("trial_count")

@@ -37,13 +37,15 @@ from ..resilience.analysis import (
     slicing_success_probability,
 )
 from ..resilience.transfer import simulate_transfers
+from .distinguishability import distinguishability_rows
 from .registry import Experiment, register
 from .runner import experiment_rows
-from .setup_latency import measure_onion_setup, measure_slicing_setup
+from .setup_latency import measure_onion_setup, measure_setup, measure_slicing_setup
 from .throughput import (
     aggregate_throughput_vs_flows,
     measure_onion_throughput,
     measure_slicing_throughput,
+    measure_throughput,
 )
 from .trials import chunked_points, merge_chunks, spawn_seed
 
@@ -52,6 +54,11 @@ DEFAULT_N = 10_000
 DEFAULT_TRIALS = 1000
 
 _PROFILES = {"lan": LAN_PROFILE, "planetlab": PLANETLAB_PROFILE}
+
+#: Runtime schemes the overlay figures (11-15) accept via ``--scheme``: any
+#: single registered protocol runtime can be driven through the unified
+#: measurement drivers on either backend.
+OVERLAY_SCHEMES = ("slicing", "onion", "onion-erasure", "sphinx")
 
 
 def _trials(scale: float) -> int:
@@ -298,6 +305,31 @@ def _fig12_trials(scale: float) -> list[dict]:
 def _throughput_run(params: dict, rng: np.random.Generator) -> dict:
     profile = _PROFILES[params["profile"]]
     backend = params.get("backend", "sim")
+    scheme = params.get("scheme")
+    if scheme is not None:
+        # Single-scheme mode (--scheme): one transfer of the selected runtime
+        # per path length; the parity sub-dict keys the scheme so cross-backend
+        # cmp catches a scheme mix-up, not just a digest mismatch.
+        result = measure_throughput(
+            scheme,
+            profile,
+            params["path_length"],
+            d=params["d"],
+            num_messages=params["num_messages"],
+            seed=spawn_seed(rng),
+            backend=backend,
+        )
+        return {
+            "path_length": params["path_length"],
+            "scheme": scheme,
+            "throughput_mbps": result.throughput_bps / 1e6,
+            "messages_delivered": result.messages_delivered,
+            "parity": {
+                "path_length": params["path_length"],
+                "scheme": scheme,
+                "result": result.parity_fields(),
+            },
+        }
     slicing = measure_slicing_throughput(
         profile,
         params["path_length"],
@@ -336,6 +368,7 @@ register(
         build_trials=_fig11_trials,
         run_trial=_throughput_run,
         backends=("sim", "aio"),
+        schemes=OVERLAY_SCHEMES,
     )
 )
 
@@ -346,6 +379,7 @@ register(
         build_trials=_fig12_trials,
         run_trial=_throughput_run,
         backends=("sim", "aio"),
+        schemes=OVERLAY_SCHEMES,
     )
 )
 
@@ -390,6 +424,7 @@ def _fig13_run(params: dict, rng: np.random.Generator) -> dict:
         num_messages=params["num_messages"],
         seed=spawn_seed(rng),
         backend=params.get("backend", "sim"),
+        scheme=params.get("scheme", "slicing"),
     )
     return rows[0]
 
@@ -401,6 +436,7 @@ register(
         build_trials=_fig13_trials,
         run_trial=_fig13_run,
         backends=("sim", "aio"),
+        schemes=OVERLAY_SCHEMES,
     )
 )
 
@@ -432,8 +468,35 @@ def _setup_run(params: dict, rng: np.random.Generator) -> dict:
     profile = _PROFILES[params["profile"]]
     backend = params.get("backend", "sim")
     path_length = params["path_length"]
-    row: dict = {"path_length": path_length}
-    parity: dict = {"path_length": path_length}
+    scheme = params.get("scheme")
+    if scheme is not None:
+        # Single-scheme mode (--scheme): slicing keeps its split-factor sweep;
+        # the circuit schemes have no d axis and measure one establishment.
+        row = {"path_length": path_length, "scheme": scheme}
+        parity = {"path_length": path_length, "scheme": scheme}
+        if scheme == "slicing":
+            for d in params["split_factors"]:
+                result = measure_slicing_setup(
+                    profile, path_length, d=d, seed=spawn_seed(rng), backend=backend
+                )
+                row[f"slicing_d{d}_seconds"] = result.setup_seconds
+                parity[f"slicing_d{d}"] = result.parity_fields()
+        else:
+            kwargs = {"d": 2, "d_prime": 3} if scheme == "onion-erasure" else {}
+            result = measure_setup(
+                scheme,
+                profile,
+                path_length,
+                seed=spawn_seed(rng),
+                backend=backend,
+                **kwargs,
+            )
+            row["setup_seconds"] = result.setup_seconds
+            parity[scheme] = result.parity_fields()
+        row["parity"] = parity
+        return row
+    row = {"path_length": path_length}
+    parity = {"path_length": path_length}
     onion = measure_onion_setup(
         profile, path_length, seed=spawn_seed(rng), backend=backend
     )
@@ -456,6 +519,7 @@ register(
         build_trials=_fig14_trials,
         run_trial=_setup_run,
         backends=("sim", "aio"),
+        schemes=OVERLAY_SCHEMES,
     )
 )
 
@@ -466,6 +530,7 @@ register(
         build_trials=_fig15_trials,
         run_trial=_setup_run,
         backends=("sim", "aio"),
+        schemes=OVERLAY_SCHEMES,
     )
 )
 
@@ -878,6 +943,110 @@ def chaum_microbenchmark(scale: float = 1.0) -> list[dict]:
     return experiment_rows("chaumbench", scale=scale)
 
 
+# -- Sphinx batched-cell microbenchmark --------------------------------------------
+
+#: Messages per burst in the batched-vs-per-cell Sphinx comparison.
+SPHINXBENCH_MESSAGES = 192
+
+#: The sphinxbench acceptance target: one circuit keystream plus a vectorised
+#: XOR per burst must beat the per-cell StreamCipher loop by at least this
+#: factor at :data:`SPHINXBENCH_MESSAGES` messages.
+SPHINXBENCH_TARGET_SPEEDUP = 2.0
+
+
+def _sphinxbench_trials(scale: float) -> list[dict]:
+    reps = max(int(5 * scale), 2)
+    # Three path lengths so the benchmark gate's median is a genuine middle
+    # value.
+    return [
+        {"path_length": length, "messages": SPHINXBENCH_MESSAGES, "reps": reps}
+        for length in (3, 5, 8)
+    ]
+
+
+def _sphinxbench_run(params: dict, rng: np.random.Generator) -> dict:
+    from ..baselines.sphinx import SphinxDirectory, SphinxRelay, SphinxSource
+
+    path_length = params["path_length"]
+    count = params["messages"]
+    reps = params["reps"]
+    build_rng = np.random.default_rng(spawn_seed(rng))
+    relays = [f"bench-{index}" for index in range(path_length)]
+    directory = SphinxDirectory.for_relays(relays, build_rng)
+    source = SphinxSource(directory, build_rng)
+    circuit, packet = source.build_circuit(relays, "bench-destination", path_length)
+    engines = {
+        address: SphinxRelay(address, directory.node(address)) for address in relays
+    }
+    handles = []
+    current = packet
+    for hop in circuit.hops:
+        handle, _next_hop, current = engines[hop].handle_setup(current)
+        handles.append((hop, handle))
+    messages = [
+        bytes(build_rng.integers(0, 256, size=512, dtype=np.uint8).tobytes())
+        for _ in range(count)
+    ]
+
+    def per_cell_pass() -> list[bytes]:
+        cells = [source.wrap_data(circuit, message) for message in messages]
+        for hop, handle in handles:
+            cells = [engines[hop].handle_data(handle, cell)[1] for cell in cells]
+        return cells
+
+    def batched_pass() -> list[bytes]:
+        cells = source.wrap_cells(circuit, messages)
+        for hop, handle in handles:
+            _next_hop, cells = engines[hop].strip_cells(handle, cells)
+        return cells
+
+    # Warm both paths and verify the batched burst is bit-identical to the
+    # per-cell reference before timing anything.
+    identical = per_cell_pass() == batched_pass()
+
+    # Same noise-robust estimator as the other microbenchmarks: per-rep
+    # minimum on identical inputs.
+    scalar_times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        per_cell_pass()
+        scalar_times.append(time.perf_counter() - start)
+    scalar_seconds = min(scalar_times)
+
+    batched_times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        batched_pass()
+        batched_times.append(time.perf_counter() - start)
+    batched_seconds = min(batched_times)
+
+    return {
+        "path_length": path_length,
+        "messages": count,
+        "per_cell_ms": scalar_seconds * 1e3,
+        "batched_ms": batched_seconds * 1e3,
+        "speedup": scalar_seconds / max(batched_seconds, 1e-12),
+        "identical": identical,
+    }
+
+
+register(
+    Experiment(
+        name="sphinxbench",
+        title="Sphinx microbenchmark: batched cell wrap/strip vs. per-cell StreamCipher loop",
+        build_trials=_sphinxbench_trials,
+        run_trial=_sphinxbench_run,
+        deterministic=False,  # wall-clock timings; never serve from cache
+        shardable=False,  # single-host comparison; numbers mean nothing sharded
+    )
+)
+
+
+def sphinx_microbenchmark(scale: float = 1.0) -> list[dict]:
+    """Sphinx microbenchmark: batched cell wrap/strip vs. the per-cell loop."""
+    return experiment_rows("sphinxbench", scale=scale)
+
+
 # -- distributed-sharding benchmark ------------------------------------------------
 
 #: Experiment the distributed-sharding benchmark shards (fig11: four
@@ -977,9 +1146,11 @@ FIGURES = {
     "fig15": figure15_setup_latency_wan,
     "fig16": figure16_resilience_analysis,
     "fig17": figure17_churn_resilience,
+    "distinguishability": distinguishability_rows,
     "microbench": coding_microbenchmark,
     "anonbench": anonymity_microbenchmark,
     "chaumbench": chaum_microbenchmark,
     "dataplane-bench": dataplane_microbenchmark,
+    "sphinxbench": sphinx_microbenchmark,
     "distbench": distributed_sharding_benchmark,
 }

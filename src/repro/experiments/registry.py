@@ -46,6 +46,11 @@ class Experiment:
     #: that drive the overlay substrate (figs. 11-15) also accept ``"aio"``;
     #: everything else is simulator-only and rejects ``--backend aio``.
     backends: tuple[str, ...] = ("sim",)
+    #: Protocol-runtime schemes the experiment can be restricted to with
+    #: ``--scheme`` (figs. 11-15 run any single registered runtime through
+    #: their unified drivers).  Empty means the experiment has no per-scheme
+    #: mode and rejects ``--scheme``.
+    schemes: tuple[str, ...] = ()
     #: Whether the trial list may be sharded across machines by the
     #: distributed coordinator (:mod:`~repro.experiments.distributed`).
     #: Trials are already independent by construction, so this defaults to
@@ -95,7 +100,7 @@ def _ensure_definitions_loaded() -> None:
     # Importing the definition modules runs their register() calls.  This is
     # also what makes worker processes (which receive only experiment names)
     # see the same registry as the parent.
-    from . import ablations, figures  # noqa: F401
+    from . import ablations, distinguishability, figures  # noqa: F401
 
     # Scenario-matrix cells are registered from spec files rather than module
     # import; re-loading the specs named in REPRO_SCENARIO_MATRIX is how pool

@@ -38,10 +38,17 @@ METRICS: dict[str, tuple[str, str]] = {
     "source_anonymity": ("max", "source anonymity"),
     "destination_anonymity": ("max", "destination anonymity"),
     "success_probability": ("max", "delivery success"),
+    "unlinkability": ("max", "unlinkability"),
 }
 
 #: Metrics compared against the baseline snapshot.
-DELTA_METRICS = ("throughput_mbps", "setup_seconds", "source_anonymity", "success_probability")
+DELTA_METRICS = (
+    "throughput_mbps",
+    "setup_seconds",
+    "source_anonymity",
+    "success_probability",
+    "unlinkability",
+)
 
 #: Relative change below which a baseline delta is reported as unchanged.
 DELTA_EPSILON = 1e-9

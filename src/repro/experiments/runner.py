@@ -63,6 +63,38 @@ class RunResult:
     cached: bool
     elapsed_seconds: float
     backend: str = "sim"
+    scheme: str | None = None
+
+
+def validate_scheme(experiment: Experiment, scheme: str, backend: str) -> None:
+    """Reject ``--scheme`` selections the experiment or backend cannot run.
+
+    Raises :class:`ValueError` with a one-line message listing what *is*
+    supported — the CLI surfaces it verbatim as an exit-2 usage error.
+    """
+    from ..overlay.runtime import runtime_backends, runtime_schemes
+
+    if not experiment.schemes:
+        raise ValueError(
+            f"experiment {experiment.name!r} does not support per-scheme runs"
+        )
+    if scheme not in experiment.schemes:
+        supported = ", ".join(experiment.schemes)
+        raise ValueError(
+            f"experiment {experiment.name!r} does not support scheme {scheme!r} "
+            f"(supported: {supported})"
+        )
+    if scheme not in runtime_schemes():
+        known = ", ".join(runtime_schemes())
+        raise ValueError(f"unknown runtime scheme {scheme!r} (known: {known})")
+    if backend not in runtime_backends(scheme):
+        supported = ", ".join(
+            name for name in experiment.schemes if backend in runtime_backends(name)
+        )
+        raise ValueError(
+            f"scheme {scheme!r} does not run on backend {backend!r} "
+            f"(schemes supported on {backend!r}: {supported or 'none'})"
+        )
 
 
 def run_experiment(
@@ -73,6 +105,7 @@ def run_experiment(
     out_dir: str | Path | None = None,
     force: bool = False,
     backend: str = "sim",
+    scheme: str | None = None,
 ) -> RunResult:
     """Run (or load from cache) one registered experiment.
 
@@ -81,7 +114,10 @@ def run_experiment(
     existing artifact and recomputes.  ``backend`` selects the overlay
     transport for experiments that support more than the simulator (the
     figs. 11-15 family); runs on a non-default backend are never served from
-    cache — their timing fields are wall-clock-dependent.
+    cache — their timing fields are wall-clock-dependent.  ``scheme``
+    restricts a scheme-capable experiment to one registered protocol runtime
+    (the scheme lands in every trial dictionary, so it keys the artifact
+    cache; the default multi-scheme trial list is untouched).
     """
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
@@ -94,9 +130,11 @@ def run_experiment(
             f"experiment {name!r} does not support backend {backend!r} "
             f"(supported: {supported})"
         )
+    if scheme is not None:
+        validate_scheme(experiment, scheme, backend)
     seed = experiment.base_seed if seed is None else int(seed)
     started = time.perf_counter()
-    trials = build_trial_list(experiment, scale, backend)
+    trials = build_trial_list(experiment, scale, backend, scheme)
     cacheable = experiment.deterministic and backend == "sim"
 
     artifact = None if out_dir is None else Path(out_dir) / f"{name}.json"
@@ -118,6 +156,7 @@ def run_experiment(
                 cached=True,
                 elapsed_seconds=time.perf_counter() - started,
                 backend=backend,
+                scheme=scheme,
             )
 
     results = _run_trials(experiment, trials, seed, workers)
@@ -136,6 +175,7 @@ def run_experiment(
         cached=False,
         elapsed_seconds=time.perf_counter() - started,
         backend=backend,
+        scheme=scheme,
     )
 
 
@@ -156,18 +196,27 @@ def experiment_rows(
 # deterministic experiment byte-identical to a single-process one.
 
 
-def build_trial_list(experiment: Experiment, scale: float, backend: str = "sim") -> list[dict]:
+def build_trial_list(
+    experiment: Experiment,
+    scale: float,
+    backend: str = "sim",
+    scheme: str | None = None,
+) -> list[dict]:
     """Expand an experiment's declarative parameters into its trial list.
 
-    Backend-capable experiments carry the backend in every trial, so it
-    reaches ``run_trial`` in workers and keys the artifact cache.  The
-    result is already JSON-hygienic: a distributed worker rebuilding this
-    list from ``(name, scale, backend)`` gets the exact dictionaries the
-    coordinator holds.
+    Backend-capable experiments carry the backend in every trial, and a
+    scheme restriction (``--scheme``) is likewise stamped into every trial,
+    so both reach ``run_trial`` in workers and key the artifact cache; the
+    default (no restriction) trial list is byte-identical to what it was
+    before schemes existed.  The result is already JSON-hygienic: a
+    distributed worker rebuilding this list from ``(name, scale, backend,
+    scheme)`` gets the exact dictionaries the coordinator holds.
     """
     trials = _jsonify(experiment.build_trials(scale))
     if len(experiment.backends) > 1:
         trials = [{**params, "backend": backend} for params in trials]
+    if scheme is not None:
+        trials = [{**params, "scheme": scheme} for params in trials]
     return trials
 
 

@@ -86,7 +86,7 @@ class ScenarioSpecError(ValueError):
 CELL_PREFIX = "scn"
 
 #: Schemes a cell may compare (the unified §7 runtime registry's names).
-KNOWN_SCHEMES = ("slicing", "onion", "onion-erasure")
+KNOWN_SCHEMES = ("slicing", "onion", "onion-erasure", "sphinx")
 
 #: Axis name -> default grid used when the spec omits the axis.
 AXIS_DEFAULTS: dict[str, list[float]] = {
@@ -456,13 +456,20 @@ class ScenarioProfile:
 def _is_relay_address(address: str) -> bool:
     """Relay-class addresses pay the asymmetric (slower) access link.
 
-    The §7 drivers name source-stage nodes ``src-*`` / ``onion-source`` and
-    destinations ``destination`` / ``onion-destination``; everything else in
+    The §7 drivers name source-stage nodes ``src-*`` / ``onion-source`` /
+    ``sphinx-source`` and destinations ``destination`` /
+    ``onion-destination`` / ``sphinx-destination``; everything else in
     their address plans is a relay.
     """
-    if address in ("onion-source", "onion-destination", "destination"):
+    if address in (
+        "onion-source",
+        "onion-destination",
+        "sphinx-source",
+        "sphinx-destination",
+        "destination",
+    ):
         return False
-    return address.startswith(("relay-", "onion-", "pl-"))
+    return address.startswith(("relay-", "onion-", "sphinx-", "pl-"))
 
 
 def build_scenario_profile(params: dict) -> ScenarioProfile:
@@ -519,6 +526,7 @@ def run_cell_trial(params: dict, rng: np.random.Generator) -> dict:
     """
     # Imported here (not at module top) to keep the spec-parsing half of this
     # module importable without dragging in the whole overlay stack.
+    from .distinguishability import hop_size_unlinkability
     from .setup_latency import measure_setup
     from .throughput import measure_throughput
 
@@ -573,6 +581,17 @@ def run_cell_trial(params: dict, rng: np.random.Generator) -> dict:
     else:
         success = standard_onion_success_probability(loss, path_length)
 
+    # Seeded last so rows predating the metric keep their values bit-for-bit.
+    unlinkability = hop_size_unlinkability(
+        scheme,
+        profile,
+        path_length,
+        d=d,
+        d_prime=d_prime,
+        num_messages=MIN_MESSAGES,
+        seed=spawn_seed(rng),
+    )["unlinkability"]
+
     return {
         "cell": params["cell"],
         "scheme": scheme,
@@ -582,6 +601,7 @@ def run_cell_trial(params: dict, rng: np.random.Generator) -> dict:
         "source_anonymity": anonymity.source_anonymity,
         "destination_anonymity": anonymity.destination_anonymity,
         "success_probability": success,
+        "unlinkability": unlinkability,
         "anonymity_trials": trials,
     }
 

@@ -40,6 +40,7 @@ PROTOCOL_LABELS = {
     "slicing": "information-slicing",
     "onion": "onion-routing",
     "onion-erasure": "onion-erasure",
+    "sphinx": "sphinx-onion",
 }
 
 
@@ -85,6 +86,39 @@ def _addresses(prefix: str, count: int) -> list[str]:
     return [f"{prefix}-{index}" for index in range(count)]
 
 
+def scheme_address_plan(
+    scheme: str, path_length: int, d_prime: int
+) -> tuple[list[str], list[str], str]:
+    """The per-scheme address plan: (source stage, relay pool, destination).
+
+    One place defines which overlay addresses each scheme's transfer uses —
+    shared by the measurement drivers (via :func:`prepare_scheme_transfer`)
+    and the distinguishability observer, which needs the source-stage
+    addresses to anchor hop positions.
+    """
+    if scheme == "slicing":
+        return (
+            _addresses("src", d_prime),
+            _addresses("relay", max(path_length * d_prime * 2, 32)),
+            "destination",
+        )
+    if scheme == "onion":
+        return ["onion-source"], _addresses("onion", path_length), "onion-destination"
+    if scheme == "onion-erasure":
+        return (
+            ["onion-source"],
+            _addresses("onion", path_length * d_prime),
+            "onion-destination",
+        )
+    if scheme == "sphinx":
+        return (
+            ["sphinx-source"],
+            _addresses("sphinx", path_length),
+            "sphinx-destination",
+        )
+    raise KeyError(f"unknown throughput scheme {scheme!r}")
+
+
 def prepare_scheme_transfer(
     scheme: str,
     profile: OverlayProfile,
@@ -94,6 +128,7 @@ def prepare_scheme_transfer(
     seed: int,
     data_plane: str,
     backend: str = "sim",
+    substrate_factory=None,
 ) -> tuple[OverlayTransport, ProtocolRuntime, list[str], str]:
     """Build the substrate, runtime, relay pool and destination for one scheme.
 
@@ -101,30 +136,20 @@ def prepare_scheme_transfer(
     address plan and runtime construction live in exactly one place.
     ``backend`` selects the transport: ``"sim"`` (discrete-event) or
     ``"aio"`` (asyncio localhost TCP); the aio backend requires the batched
-    data plane, which is the default.
+    data plane, which is the default.  ``substrate_factory`` (network ->
+    transport) overrides the backend lookup — the distinguishability
+    experiments inject their recording substrate through it.
     """
     rng = np.random.default_rng(seed)
-    if scheme == "slicing":
-        source_stage = _addresses("src", d_prime)
-        relays = _addresses("relay", max(path_length * d_prime * 2, 32))
-        destination = "destination"
-        all_addresses = source_stage + relays + [destination]
-    elif scheme == "onion":
-        source_stage = ["onion-source"]
-        relays = _addresses("onion", path_length)
-        destination = "onion-destination"
-        all_addresses = [*source_stage, *relays, destination]
-    elif scheme == "onion-erasure":
-        source_stage = ["onion-source"]
-        relays = _addresses("onion", path_length * d_prime)
-        destination = "onion-destination"
-        all_addresses = [*source_stage, *relays, destination]
-    else:
-        raise KeyError(f"unknown throughput scheme {scheme!r}")
+    source_stage, relays, destination = scheme_address_plan(scheme, path_length, d_prime)
+    all_addresses = [*source_stage, *relays, destination]
     network = profile.build_network(all_addresses, rng)
-    substrate = build_substrate(
-        backend, network, connection_bps=connection_bps_for(profile)
-    )
+    if substrate_factory is not None:
+        substrate = substrate_factory(network)
+    else:
+        substrate = build_substrate(
+            backend, network, connection_bps=connection_bps_for(profile)
+        )
     if scheme == "slicing":
         runtime = build_runtime(
             scheme,
@@ -137,7 +162,7 @@ def prepare_scheme_transfer(
             runtime_rng=np.random.default_rng(seed + 1),
             data_plane=data_plane,
         )
-    elif scheme == "onion":
+    elif scheme in ("onion", "sphinx"):
         runtime = build_runtime(
             scheme,
             substrate,
@@ -298,6 +323,73 @@ def throughput_vs_path_length(
     return rows
 
 
+def _aggregate_runtime_flows(
+    scheme: str,
+    substrate: OverlayTransport,
+    overlay_nodes: list[str],
+    source_stages: list[list[str]],
+    destinations: list[str],
+    path_length: int,
+    d: int,
+    d_prime: int,
+    num_messages: int,
+    message_bytes: int,
+    seed: int,
+    flow_count: int,
+) -> dict:
+    """Fig. 13's single-scheme mode: N unified-runtime flows on one overlay.
+
+    The circuit schemes cannot interleave setup and data (cells need the
+    established circuit), so every flow establishes first, then all flows
+    send together; throughput is measured over the shared data phase.
+    """
+    runtimes = []
+    progresses = []
+    for flow_index in range(flow_count):
+        kwargs = {"d": d, "d_prime": d_prime} if scheme == "onion-erasure" else {}
+        runtime = build_runtime(
+            scheme,
+            substrate,
+            source_address=source_stages[flow_index][0],
+            path_length=path_length,
+            rng=np.random.default_rng(seed + 31 * flow_index),
+            **kwargs,
+        )
+        progresses.append(runtime.establish(overlay_nodes, destinations[flow_index]))
+        runtimes.append(runtime)
+    substrate.sim.run()
+    start = substrate.sim.now
+    payload = bytes(message_bytes)
+    for runtime in runtimes:
+        runtime.send_messages([payload] * num_messages)
+    substrate.sim.run()
+    end = max([p.last_delivery_at for p in progresses if p.last_delivery_at] or [start])
+    total_bytes = sum(p.delivered_bytes for p in progresses)
+    duration = max(end - start, 1e-9)
+    relay_totals: dict[str, int] = {}
+    for runtime in runtimes:
+        for key, value in runtime.relay_counters().items():
+            relay_totals[key] = relay_totals.get(key, 0) + value
+    return {
+        "flows": flow_count,
+        "scheme": scheme,
+        "network_throughput_mbps": total_bytes * 8.0 / duration / 1e6,
+        "messages_delivered": sum(len(p.delivered_messages) for p in progresses),
+        "parity": {
+            "flows": flow_count,
+            "scheme": scheme,
+            "delivered_per_flow": [len(p.delivered_messages) for p in progresses],
+            "digests": [runtime.delivered_digest() for runtime in runtimes],
+            "relay": relay_totals,
+            "net": {
+                "packets_sent": substrate.stats.packets_sent,
+                "packets_dropped": substrate.stats.packets_dropped,
+                "bytes_sent": substrate.stats.bytes_sent,
+            },
+        },
+    }
+
+
 def aggregate_throughput_vs_flows(
     profile: OverlayProfile,
     flow_counts: list[int],
@@ -309,12 +401,16 @@ def aggregate_throughput_vs_flows(
     seed: int = 9,
     data_plane: str = "batched",
     backend: str = "sim",
+    scheme: str = "slicing",
 ) -> list[dict]:
     """Fig. 13: aggregate network throughput as concurrent flows increase.
 
     All flows share one overlay of ``overlay_size`` nodes, so their packets
     contend for the same per-node CPU and per-connection capacity; the curve
-    rises roughly linearly and then saturates, as in the paper.
+    rises roughly linearly and then saturates, as in the paper.  ``scheme``
+    selects the flows' protocol: ``"slicing"`` (the default, the paper's
+    figure) drives the real relay engines; any other registered runtime is
+    driven through the unified interface (:func:`_aggregate_runtime_flows`).
     """
     rows = []
     for flow_count in flow_counts:
@@ -335,6 +431,24 @@ def aggregate_throughput_vs_flows(
             backend, network, connection_bps=connection_bps_for(profile)
         )
         try:
+            if scheme != "slicing":
+                rows.append(
+                    _aggregate_runtime_flows(
+                        scheme,
+                        substrate,
+                        overlay_nodes,
+                        source_stages,
+                        destinations,
+                        path_length,
+                        d,
+                        d_prime,
+                        num_messages,
+                        message_bytes,
+                        seed,
+                        flow_count,
+                    )
+                )
+                continue
             runtime = SlicingRuntime(
                 substrate, rng=np.random.default_rng(seed + 1), data_plane=data_plane
             )

@@ -47,6 +47,12 @@ class ProtocolRuntime(abc.ABC):
     #: Registry key; subclasses set this and call :func:`register_runtime`.
     scheme: str = ""
 
+    #: Overlay transport backends the scheme supports.  Every shipped scheme
+    #: runs on both, but a runtime that depends on simulator-only facilities
+    #: can narrow this; the CLI rejects mismatched ``--scheme``/``--backend``
+    #: combinations with a one-line error (see :func:`runtime_backends`).
+    backends: tuple[str, ...] = ("sim", "aio")
+
     def __init__(self, substrate: OverlayTransport) -> None:
         self.substrate = substrate
         self.progress = FlowProgress()
@@ -164,6 +170,21 @@ def runtime_schemes() -> list[str]:
     """Sorted names of every registered protocol runtime."""
     _ensure_runtimes_loaded()
     return sorted(RUNTIME_SCHEMES)
+
+
+def runtime_backends(scheme: str) -> tuple[str, ...]:
+    """The overlay backends the runtime registered under ``scheme`` supports.
+
+    Factories that are not :class:`ProtocolRuntime` subclasses (plain
+    callables) are assumed to support every substrate backend.
+    """
+    _ensure_runtimes_loaded()
+    try:
+        factory = RUNTIME_SCHEMES[scheme]
+    except KeyError:
+        known = ", ".join(sorted(RUNTIME_SCHEMES))
+        raise KeyError(f"unknown runtime scheme {scheme!r} (known: {known})") from None
+    return tuple(getattr(factory, "backends", SUBSTRATE_BACKENDS))
 
 
 def _ensure_runtimes_loaded() -> None:

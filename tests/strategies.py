@@ -1,0 +1,155 @@
+"""Shared hypothesis strategies for the test suite.
+
+The wire-format, distributed-protocol and data-plane suites each grew their
+own inline strategies for the same shapes — coded blocks, packets, JSON
+rows, ``(d, d', L)`` triples.  This module is the single home for those
+generators, so new suites (the sphinx property harness, the scenario-profile
+tests) reuse them instead of redefining them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core.coder import CodedBlock
+from repro.core.packet import Packet, PacketKind
+
+# -- JSON shapes (the distributed coordinator's wire protocol) ----------------------
+
+#: JSON-able scalar values as they appear in trial rows.
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**53), 2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+
+#: Row-shaped dictionaries: string keys, scalar or shallow-list values.
+json_rows = st.dictionaries(
+    st.text(min_size=1, max_size=12),
+    st.one_of(json_scalars, st.lists(json_scalars, max_size=4)),
+    max_size=6,
+)
+
+
+@st.composite
+def lease_messages(draw):
+    """Coordinator→worker lease frames."""
+    indices = draw(st.lists(st.integers(0, 2**32), min_size=1, max_size=16))
+    return {
+        "type": "lease",
+        "lease_id": draw(st.integers(1, 2**53)),
+        "indices": indices,
+    }
+
+
+@st.composite
+def result_messages(draw):
+    """Worker→coordinator result frames carrying row-shaped payloads."""
+    entries = draw(
+        st.lists(st.tuples(st.integers(0, 2**32), json_rows), min_size=1, max_size=8)
+    )
+    return {
+        "type": "result",
+        "lease_id": draw(st.integers(1, 2**53)),
+        "results": [[index, row] for index, row in entries],
+    }
+
+
+# -- coding-layer shapes ------------------------------------------------------------
+
+
+@st.composite
+def coded_blocks(draw, d: int, payload_bytes: int):
+    """One coded slice with ``d`` coefficients and a fixed payload width."""
+    coefficients = draw(st.lists(st.integers(0, 255), min_size=d, max_size=d))
+    payload = draw(
+        st.lists(st.integers(0, 255), min_size=payload_bytes, max_size=payload_bytes)
+    )
+    index = draw(st.integers(-1, 64))
+    return CodedBlock(
+        coefficients=np.array(coefficients, dtype=np.uint8),
+        payload=np.array(payload, dtype=np.uint8),
+        index=index,
+    )
+
+
+@st.composite
+def packets(draw):
+    """Packets across all slot layouts: any d, slice count and slice size."""
+    d = draw(st.integers(1, 8))
+    payload_bytes = draw(st.integers(1, 48))
+    slice_count = draw(st.integers(1, 6))
+    slices = [draw(coded_blocks(d, payload_bytes)) for _ in range(slice_count)]
+    return Packet(
+        flow_id=draw(st.integers(0, 2**64 - 1)),
+        kind=draw(st.sampled_from(list(PacketKind))),
+        slices=slices,
+        d=d,
+        lane=draw(st.integers(0, 255)),
+        seq=draw(st.integers(0, 2**32 - 1)),
+    )
+
+
+@st.composite
+def dimension_triples(draw, max_d: int = 3, max_extra: int = 2, max_path: int = 4):
+    """``(d, d', path_length)`` triples in the ranges figs 11–15 exercise."""
+    d = draw(st.integers(2, max_d))
+    d_prime = d + draw(st.integers(0, max_extra))
+    path_length = draw(st.integers(2, max_path))
+    return d, d_prime, path_length
+
+
+# -- payloads and routes ------------------------------------------------------------
+
+
+def payload_blobs(min_size: int = 0, max_size: int = 160):
+    """Arbitrary binary message payloads."""
+    return st.binary(min_size=min_size, max_size=max_size)
+
+
+@st.composite
+def distinct_key_pairs(draw, min_size: int = 1, max_size: int = 32):
+    """Two unequal symmetric keys (the wrong-key negative paths)."""
+    key = draw(st.binary(min_size=min_size, max_size=max_size))
+    other = draw(
+        st.binary(min_size=min_size, max_size=max_size).filter(lambda k: k != key)
+    )
+    return key, other
+
+
+@st.composite
+def routes(draw, max_hops: int = 8, prefix: str = "relay"):
+    """A relay pool, a distinct destination and a feasible path length."""
+    path_length = draw(st.integers(1, max_hops))
+    pool_size = draw(st.integers(path_length, max_hops + 4))
+    relays = [f"{prefix}-{index}" for index in range(pool_size)]
+    return relays, "destination", path_length
+
+
+# -- scenario axes ------------------------------------------------------------------
+
+
+@st.composite
+def scenario_axis_params(draw):
+    """One cell's full axis assignment in trial-dict form.
+
+    Spans both base profiles and the documented range of every
+    profile-shaping axis (jitter, bandwidth, asymmetry, CPU heterogeneity);
+    the remaining axes ride along so the dict looks exactly like a trial's
+    params.
+    """
+    return {
+        "profile": draw(st.sampled_from(["lan", "planetlab"])),
+        "jitter": draw(st.floats(0.0, 1.5)),
+        "bandwidth_mbps": draw(st.one_of(st.just(0.0), st.floats(0.5, 1000.0))),
+        "asymmetry": draw(st.floats(1.0, 16.0)),
+        "cpu_heterogeneity": draw(st.floats(0.0, 4.0)),
+        "loss": draw(st.floats(0.0, 0.99)),
+        "adversary": draw(st.floats(0.0, 0.99)),
+        "d": draw(st.integers(2, 3)),
+        "d_prime": draw(st.integers(3, 5)),
+        "path_length": draw(st.integers(2, 6)),
+    }

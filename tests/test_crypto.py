@@ -2,6 +2,9 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from strategies import distinct_key_pairs, payload_blobs
 
 from repro.core.errors import ProtocolError
 from repro.crypto.keys import KeyMaterial, generate_flow_id, generate_key, generate_nonce
@@ -84,3 +87,51 @@ def test_cost_model_defaults_ordering():
     model = PublicKeyCostModel()
     assert model.decrypt_seconds > model.encrypt_seconds > 0
     assert model.symmetric_seconds_per_byte > 0
+
+
+# -- negative paths (hypothesis over the shared strategies) -------------------------
+
+
+def test_empty_payload_roundtrips():
+    cipher = StreamCipher(b"key")
+    nonce = b"\x02" * NONCE_SIZE
+    assert cipher.encrypt(b"", nonce) == b""
+    assert cipher.open(cipher.seal(b"", nonce)) == b""
+
+
+@given(plaintext=payload_blobs(min_size=1), keys=distinct_key_pairs())
+@settings(max_examples=60, deadline=None)
+def test_wrong_key_never_recovers_the_plaintext(plaintext, keys):
+    key, wrong_key = keys
+    nonce = b"\x05" * NONCE_SIZE
+    ciphertext = encrypt(key, plaintext, nonce)
+    assert decrypt(wrong_key, ciphertext, nonce) != plaintext
+    assert decrypt(key, ciphertext, nonce) == plaintext
+
+
+@given(plaintext=payload_blobs(min_size=2), cut=st.integers(1, 160))
+@settings(max_examples=60, deadline=None)
+def test_truncated_ciphertext_never_recovers_the_plaintext(plaintext, cut):
+    cut = min(cut, len(plaintext) - 1)
+    cipher = StreamCipher(b"truncation key")
+    nonce = b"\x06" * NONCE_SIZE
+    truncated = cipher.encrypt(plaintext, nonce)[:-cut]
+    recovered = cipher.decrypt(truncated, nonce)
+    assert recovered != plaintext
+    assert recovered == plaintext[: len(plaintext) - cut]
+
+
+@given(cut=st.integers(1, NONCE_SIZE))
+@settings(max_examples=20, deadline=None)
+def test_sealed_blob_truncated_into_the_nonce_is_rejected(cut):
+    cipher = StreamCipher(b"sealing key")
+    blob = cipher.seal(b"", b"\x08" * NONCE_SIZE)
+    with pytest.raises(ProtocolError):
+        cipher.open(blob[: NONCE_SIZE - cut])
+
+
+def test_truncated_envelope_header_is_rejected():
+    pair = SimulatedKeyPair.generate("relay-t", np.random.default_rng(9))
+    envelope = pair.encrypt(b"layer")
+    with pytest.raises(ValueError):
+        pair.decrypt(envelope[:10])

@@ -17,6 +17,8 @@ from repro.overlay.node import SimulatedOverlayNetwork, SlicingRuntime
 from repro.overlay.profiles import LAN_PROFILE
 from repro.overlay.simulator import EventSimulator
 
+from strategies import dimension_triples
+
 # -- FlowDecoder -------------------------------------------------------------------
 
 
@@ -258,25 +260,24 @@ def run_plane(
 
 @settings(max_examples=12, deadline=None)
 @given(
-    d=st.integers(min_value=2, max_value=3),
-    extra=st.integers(min_value=0, max_value=2),
-    path_length=st.integers(min_value=2, max_value=4),
+    dims=dimension_triples(),
     num_messages=st.integers(min_value=1, max_value=6),
     message_len=st.integers(min_value=1, max_value=160),
     fail_stage=st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
     seed=st.integers(min_value=0, max_value=50),
 )
 def test_batched_plane_bit_identical_to_scalar_reference(
-    d, extra, path_length, num_messages, message_len, fail_stage, seed
+    dims, num_messages, message_len, fail_stage, seed
 ):
     """The acceptance property: across d, d', path length and loss patterns,
     the batched data plane delivers byte-identical messages and identical
     RelayStats counters under a shared seed."""
+    d, d_prime, path_length = dims
     body = np.random.default_rng(seed).integers(0, 256, message_len, dtype=np.uint8)
     messages = [bytes(body)] * num_messages
     kwargs = dict(
         d=d,
-        d_prime=d + extra,
+        d_prime=d_prime,
         path_length=path_length,
         messages=messages,
         seed=seed,

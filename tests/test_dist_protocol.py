@@ -24,45 +24,7 @@ from repro.experiments.distributed import (
 )
 from repro.overlay.aio import FRAME_HEADER, MAX_FRAME_BYTES, decode_frames
 
-# JSON-able scalar values as they appear in trial rows.
-_scalars = st.one_of(
-    st.none(),
-    st.booleans(),
-    st.integers(-(2**53), 2**53),
-    st.floats(allow_nan=False, allow_infinity=False),
-    st.text(max_size=20),
-)
-
-#: Row-shaped dictionaries: string keys, scalar or shallow-list values.
-_rows = st.dictionaries(
-    st.text(min_size=1, max_size=12),
-    st.one_of(_scalars, st.lists(_scalars, max_size=4)),
-    max_size=6,
-)
-
-
-@st.composite
-def lease_messages(draw):
-    indices = draw(st.lists(st.integers(0, 2**32), min_size=1, max_size=16))
-    return {
-        "type": "lease",
-        "lease_id": draw(st.integers(1, 2**53)),
-        "indices": indices,
-    }
-
-
-@st.composite
-def result_messages(draw):
-    entries = draw(
-        st.lists(
-            st.tuples(st.integers(0, 2**32), _rows), min_size=1, max_size=8
-        )
-    )
-    return {
-        "type": "result",
-        "lease_id": draw(st.integers(1, 2**53)),
-        "results": [[index, row] for index, row in entries],
-    }
+from strategies import json_scalars, lease_messages, result_messages
 
 
 @given(message=st.one_of(lease_messages(), result_messages()))
@@ -133,7 +95,7 @@ def test_non_message_payloads_are_rejected():
 
 @given(
     trials=st.lists(
-        st.dictionaries(st.text(min_size=1, max_size=8), _scalars, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=8), json_scalars, max_size=4),
         max_size=6,
     )
 )

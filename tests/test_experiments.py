@@ -25,7 +25,9 @@ def test_registry_contains_every_figure():
         "anonbench",
         "chaumbench",
         "dataplane-bench",
+        "sphinxbench",
         "distbench",
+        "distinguishability",
     }
     assert expected == set(FIGURES)
 

@@ -10,13 +10,20 @@ from repro.experiments.setup_latency import measure_setup
 from repro.experiments.throughput import measure_throughput
 from repro.overlay.node import SimulatedOverlayNetwork
 from repro.overlay.profiles import LAN_PROFILE
-from repro.overlay.runtime import build_runtime, runtime_schemes
+from repro.overlay.runtime import build_runtime, runtime_backends, runtime_schemes
 
 
 def test_registry_lists_all_schemes():
-    assert runtime_schemes() == ["onion", "onion-erasure", "slicing"]
+    assert runtime_schemes() == ["onion", "onion-erasure", "slicing", "sphinx"]
     with pytest.raises(KeyError):
         build_runtime("carrier-pigeon", None)
+
+
+def test_runtime_backends_reports_supported_substrates():
+    for scheme in runtime_schemes():
+        assert runtime_backends(scheme) == ("sim", "aio")
+    with pytest.raises(KeyError):
+        runtime_backends("carrier-pigeon")
 
 
 def build_substrate(addresses, seed=0):
@@ -45,6 +52,38 @@ def test_onion_runtime_delivers_plaintexts_end_to_end():
     assert len(progress.delivered_messages) == 5
     # The delivered cells are the original plaintexts: every layer stripped.
     assert [runtime.delivered[i] for i in range(5)] == messages
+
+
+def test_sphinx_runtime_delivers_plaintexts_end_to_end():
+    relays = [f"sphinx-{i}" for i in range(4)]
+    substrate = build_substrate(["src", *relays, "dst"], seed=6)
+    runtime = build_runtime(
+        "sphinx",
+        substrate,
+        source_address="src",
+        path_length=4,
+        rng=np.random.default_rng(7),
+    )
+    progress = runtime.establish(relays, "dst")
+    substrate.sim.run()
+    assert runtime.setup_seconds() > 0
+    assert set(runtime._driver.handles) == set(runtime._driver.circuit.hops)
+    messages = [b"cell-%d" % i for i in range(5)]
+    runtime.send_messages(messages)
+    substrate.sim.run()
+    assert len(progress.delivered_messages) == 5
+    # Cells are padded on the wire but delivered unpadded: exact plaintexts.
+    assert [runtime.delivered[i] for i in range(5)] == messages
+
+
+def test_sphinx_sim_vs_aio_delivered_digest_parity():
+    kwargs = dict(
+        path_length=3, d=2, d_prime=3, num_messages=12, message_bytes=700, seed=33
+    )
+    sim = measure_throughput("sphinx", LAN_PROFILE, backend="sim", **kwargs)
+    aio = measure_throughput("sphinx", LAN_PROFILE, backend="aio", **kwargs)
+    assert sim.messages_delivered == 12
+    assert sim.parity_fields() == aio.parity_fields()
 
 
 def test_onion_erasure_runtime_survives_a_circuit_failure():
@@ -100,11 +139,12 @@ def test_unified_throughput_driver_covers_all_schemes():
             scheme, LAN_PROFILE, path_length=3, d=2, d_prime=3,
             num_messages=20, message_bytes=600, seed=31,
         )
-        for scheme in ("slicing", "onion", "onion-erasure")
+        for scheme in ("slicing", "onion", "onion-erasure", "sphinx")
     }
     assert results["slicing"].protocol == "information-slicing"
     assert results["onion"].protocol == "onion-routing"
     assert results["onion-erasure"].protocol == "onion-erasure"
+    assert results["sphinx"].protocol == "sphinx-onion"
     for result in results.values():
         assert result.messages_delivered == 20
     # The paper's headline: parallel slicing paths beat the single chain.
@@ -117,7 +157,9 @@ def test_unified_setup_driver_covers_all_schemes():
     onion = measure_setup("onion", LAN_PROFILE, path_length=3, seed=7)
     slicing = measure_setup("slicing", LAN_PROFILE, path_length=3, d=2, seed=7)
     multi = measure_setup("onion-erasure", LAN_PROFILE, path_length=3, d=2, d_prime=3, seed=7)
+    sphinx = measure_setup("sphinx", LAN_PROFILE, path_length=3, seed=7)
     assert 0 < onion.setup_seconds < slicing.setup_seconds
+    assert sphinx.setup_seconds > 0
     # d' disjoint circuits take at least as long as one.
     assert multi.setup_seconds >= onion.setup_seconds * 0.9
     with pytest.raises(KeyError):

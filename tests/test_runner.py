@@ -148,3 +148,61 @@ def test_cli_list(capsys):
     assert experiments_main(["list"]) == 0
     output = capsys.readouterr().out
     assert "fig09" in output and "ablation_transforms" in output
+
+
+def test_cli_run_scheme_on_schemeless_experiment(capsys):
+    # fig16 has no per-scheme mode; --scheme must be a one-line usage error.
+    assert experiments_main(["run", "fig16", "--scheme", "sphinx"]) == 2
+    captured = capsys.readouterr()
+    assert "does not support per-scheme runs" in captured.err
+    assert captured.err.count("\n") == 1
+    assert "Traceback" not in captured.err
+
+
+def test_cli_run_unknown_scheme_lists_supported(capsys):
+    assert experiments_main(["run", "fig11", "--scheme", "carrier-pigeon"]) == 2
+    captured = capsys.readouterr()
+    assert "supported: slicing, onion, onion-erasure, sphinx" in captured.err
+    assert captured.err.count("\n") == 1
+
+
+def test_cli_run_backend_unsupported_scheme_lists_backend_schemes(capsys, monkeypatch):
+    # A sim-only scheme requested on the aio backend must fail with a one-line
+    # error that lists the schemes the experiment *does* support on aio.
+    from dataclasses import replace
+
+    from repro.experiments.registry import REGISTRY
+    from repro.overlay.runtime import RUNTIME_SCHEMES
+
+    class SimOnlyRuntime:
+        backends = ("sim",)
+
+    monkeypatch.setitem(RUNTIME_SCHEMES, "sim-only", SimOnlyRuntime)
+    fig11 = get_experiment("fig11")
+    monkeypatch.setitem(
+        REGISTRY, "fig11", replace(fig11, schemes=(*fig11.schemes, "sim-only"))
+    )
+    assert (
+        experiments_main(["run", "fig11", "--backend", "aio", "--scheme", "sim-only"])
+        == 2
+    )
+    captured = capsys.readouterr()
+    assert "does not run on backend 'aio'" in captured.err
+    assert "slicing, onion, onion-erasure, sphinx" in captured.err
+    assert captured.err.count("\n") == 1
+    assert "Traceback" not in captured.err
+
+
+def test_scheme_restriction_keys_the_artifact_cache(tmp_path):
+    # The scheme rides in the trial list, so it keys the artifact cache: a
+    # default run must never be served from a scheme-restricted artifact
+    # (and vice versa), even though both share the artifact filename.
+    default = run_experiment("fig14", scale=SMALL, out_dir=tmp_path)
+    restricted = run_experiment("fig14", scale=SMALL, out_dir=tmp_path, scheme="onion")
+    assert default.scheme is None
+    assert restricted.scheme == "onion"
+    assert not restricted.cached
+    assert {row["scheme"] for row in restricted.rows} == {"onion"}
+    rerun = run_experiment("fig14", scale=SMALL, out_dir=tmp_path)
+    assert not rerun.cached
+    assert rerun.rows == default.rows

@@ -178,7 +178,7 @@ def test_trajectory_section_renders(full_results):
         MATRIX, full_results, trajectory=trajectory, trajectory_source="BENCH.json"
     )
     markdown = render_markdown(report)
-    assert "| pr6 | 25× | — | — | — |" in markdown
+    assert "| pr6 | 25× | — | — | — | — |" in markdown
 
 
 # -- bench trajectory --------------------------------------------------------------
@@ -197,7 +197,7 @@ def test_collect_upserts_and_reports_missing(tmp_path):
     )
     out = tmp_path / "BENCH_trajectory.json"
     trajectory, missing = collect("pr6", [results], out)
-    assert missing == ["chaumbench", "dataplane-bench", "distbench"]
+    assert missing == ["chaumbench", "dataplane-bench", "distbench", "sphinxbench"]
     assert trajectory["entries"][0]["gates"]["anonbench"]["median_speedup"] == 14.0
     # Re-collecting the same label replaces in place; a new label appends.
     (results / "anonbench.json").write_text(

@@ -11,9 +11,11 @@ and byte-compares the artifacts.
 import json
 import os
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from strategies import scenario_axis_params
 
 from repro.experiments.__main__ import main as experiments_main
 from repro.experiments.registry import REGISTRY
@@ -40,7 +42,7 @@ def test_minimal_spec_fills_defaults():
     assert matrix.cell_count() == 2
     assert matrix.listed_axes == ("loss",)
     assert set(matrix.axes) == set(AXIS_DEFAULTS)
-    assert matrix.schemes == ("slicing", "onion", "onion-erasure")
+    assert matrix.schemes == ("slicing", "onion", "onion-erasure", "sphinx")
     assert matrix.profile == "lan"
 
 
@@ -242,8 +244,6 @@ def test_cell_runs_byte_identical_across_worker_counts(tmp_path, monkeypatch):
 
 
 def test_scenario_profile_axes_change_the_network():
-    import numpy as np
-
     base = {
         "profile": "lan",
         "bandwidth_mbps": 2.0,
@@ -261,3 +261,76 @@ def test_scenario_profile_axes_change_the_network():
     assert len(set(loads.values())) > 1  # heterogeneity spread the load factors
     # Jitter produced an explicit (asymmetric-free) pairwise latency.
     assert network.latency("src-0", "relay-1") != profile.latency_seconds
+
+
+# -- profile-axis properties (hypothesis over the shared strategies) ----------------
+
+_PROFILE_ADDRESSES = ["src-0", "src-1", "relay-0", "relay-1", "sphinx-source", "destination"]
+
+
+@given(params=scenario_axis_params())
+@settings(max_examples=60, deadline=None)
+def test_axis_assignments_always_build_valid_profiles(params):
+    """Any in-range axis assignment yields a structurally valid testbed."""
+    from repro.overlay.profiles import get_profile
+
+    base = get_profile(params["profile"])
+    profile = build_scenario_profile(params)
+    assert profile.name == base.name
+    assert profile.latency_seconds == base.latency_seconds
+    # Jitter only ever adds on top of the base profile's latency spread.
+    assert profile.jitter == pytest.approx(base.latency_sigma + params["jitter"])
+    if params["bandwidth_mbps"] > 0.0:
+        assert profile.resources.bandwidth_bps == pytest.approx(
+            params["bandwidth_mbps"] * 1e6
+        )
+    else:
+        assert profile.resources.bandwidth_bps == base.resources.bandwidth_bps
+    network = profile.build_network(_PROFILE_ADDRESSES, np.random.default_rng(11))
+    for address in _PROFILE_ADDRESSES:
+        resources = network.resources(address)
+        assert resources.bandwidth_bps > 0
+        # Heterogeneity inflates load factors; it never drops below the base.
+        assert resources.load_factor >= profile.resources.load_factor
+    # Only relay-class addresses pay the asymmetric access link.
+    expected_relay = profile.resources.bandwidth_bps / max(params["asymmetry"], 1.0)
+    assert network.resources("relay-0").bandwidth_bps == pytest.approx(expected_relay)
+    for endpoint in ("src-0", "sphinx-source", "destination"):
+        assert network.resources(endpoint).bandwidth_bps == pytest.approx(
+            profile.resources.bandwidth_bps
+        )
+    for i, a in enumerate(_PROFILE_ADDRESSES):
+        for b in _PROFILE_ADDRESSES[i + 1 :]:
+            assert network.latency(a, b) > 0.0
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    addresses=st.lists(
+        st.sampled_from(_PROFILE_ADDRESSES), min_size=2, max_size=6, unique=True
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_zero_axis_cell_matches_the_base_profile_bit_for_bit(seed, addresses):
+    """All-neutral axes reproduce the base LAN testbed exactly."""
+    from repro.overlay.profiles import get_profile
+
+    base = get_profile("lan")
+    profile = build_scenario_profile(
+        {
+            "profile": "lan",
+            "jitter": 0.0,
+            "bandwidth_mbps": 0.0,
+            "asymmetry": 1.0,
+            "cpu_heterogeneity": 0.0,
+        }
+    )
+    assert profile.resources == base.resources
+    scenario_net = profile.build_network(addresses, np.random.default_rng(seed))
+    base_net = base.build_network(addresses, np.random.default_rng(seed))
+    for address in addresses:
+        assert scenario_net.resources(address) == base_net.resources(address)
+    for a in addresses:
+        for b in addresses:
+            if a != b:
+                assert scenario_net.latency(a, b) == base_net.latency(a, b)

@@ -13,9 +13,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.coder import CodedBlock
 from repro.core.errors import PacketFormatError
-from repro.core.packet import Packet, PacketKind
+from repro.core.packet import Packet
 from repro.overlay.aio import (
     FRAME_HEADER,
     MAX_FRAME_BYTES,
@@ -24,38 +23,7 @@ from repro.overlay.aio import (
     read_frame,
 )
 
-
-@st.composite
-def coded_blocks(draw, d: int, payload_bytes: int):
-    coefficients = draw(
-        st.lists(st.integers(0, 255), min_size=d, max_size=d)
-    )
-    payload = draw(
-        st.lists(st.integers(0, 255), min_size=payload_bytes, max_size=payload_bytes)
-    )
-    index = draw(st.integers(-1, 64))
-    return CodedBlock(
-        coefficients=np.array(coefficients, dtype=np.uint8),
-        payload=np.array(payload, dtype=np.uint8),
-        index=index,
-    )
-
-
-@st.composite
-def packets(draw):
-    """Packets across all slot layouts: any d, slice count and slice size."""
-    d = draw(st.integers(1, 8))
-    payload_bytes = draw(st.integers(1, 48))
-    slice_count = draw(st.integers(1, 6))
-    slices = [draw(coded_blocks(d, payload_bytes)) for _ in range(slice_count)]
-    return Packet(
-        flow_id=draw(st.integers(0, 2**64 - 1)),
-        kind=draw(st.sampled_from(list(PacketKind))),
-        slices=slices,
-        d=d,
-        lane=draw(st.integers(0, 255)),
-        seq=draw(st.integers(0, 2**32 - 1)),
-    )
+from strategies import packets
 
 
 @given(packet=packets())
