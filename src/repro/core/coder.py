@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .errors import CodingError, InsufficientSlicesError
-from .gf import GF, GF256
+from .gf import GF256, resolve_field
 from .matrix import mds_matrix, random_invertible_matrix
 
 #: Number of bytes used to prefix the plaintext with its length.
@@ -130,10 +130,20 @@ class SliceCoder:
         ``d_prime - d`` blocks are redundancy against churn (§4.4).  Defaults
         to ``d`` (no redundancy).
     field:
-        Finite field implementation (defaults to the shared GF(2^8) instance).
+        Finite field implementation.  Defaults to the shared instance for
+        the process-wide active kernel (see :func:`repro.core.gf.use_kernel`).
+    kernel:
+        Shorthand for ``field=field_for_kernel(kernel)``; ignored when an
+        explicit ``field`` is given.
     """
 
-    def __init__(self, d: int, d_prime: int | None = None, field: GF256 = GF) -> None:
+    def __init__(
+        self,
+        d: int,
+        d_prime: int | None = None,
+        field: GF256 | None = None,
+        kernel: str | None = None,
+    ) -> None:
         if d < 1:
             raise CodingError(f"split factor d must be >= 1, got {d}")
         d_prime = d if d_prime is None else d_prime
@@ -141,7 +151,7 @@ class SliceCoder:
             raise CodingError(f"d' ({d_prime}) must be >= d ({d})")
         self.d = d
         self.d_prime = d_prime
-        self.field = field
+        self.field = resolve_field(field, kernel)
 
     # -- encoding ----------------------------------------------------------------
 

@@ -32,11 +32,14 @@ import numpy as np
 
 from .coder import CodedBlock, SliceCoder, _unpad_message
 from .errors import CodingError, InsufficientSlicesError
-from .gf import GF, GF256
+from .gf import GF256, resolve_field
 from .integrity import robust_decode, unwrap, verify
 
 def decode_setup_payload(
-    coder: SliceCoder, blocks: list[CodedBlock], field: GF256 = GF
+    coder: SliceCoder,
+    blocks: list[CodedBlock],
+    field: GF256 | None = None,
+    kernel: str | None = None,
 ) -> bytes:
     """Robust-decode one slice set through the batched Gauss–Jordan kernel.
 
@@ -58,6 +61,7 @@ def decode_setup_payload(
     blocks.  Asserted in ``tests/test_setup_decode.py`` and re-checked by
     :func:`repro.experiments.setup_latency.compare_setup_decode_engines`.
     """
+    field = resolve_field(field, kernel)
     d = coder.d
     if len(blocks) < d:
         raise InsufficientSlicesError(d, len(blocks))
@@ -203,15 +207,24 @@ class FlowDecoder:
         Split factor of the flow; any ``d`` independent slices reconstruct a
         message.
     field:
-        Finite-field implementation (defaults to the shared GF(2^8) instance).
+        Finite-field implementation.  Defaults to the shared instance for
+        the process-wide active kernel (see :func:`repro.core.gf.use_kernel`).
+    kernel:
+        Shorthand for ``field=field_for_kernel(kernel)``; ignored when an
+        explicit ``field`` is given.
     """
 
-    def __init__(self, d: int, field: GF256 = GF) -> None:
+    def __init__(
+        self,
+        d: int,
+        field: GF256 | None = None,
+        kernel: str | None = None,
+    ) -> None:
         if d < 1:
             raise CodingError(f"split factor d must be >= 1, got {d}")
         self.d = d
-        self.field = field
-        self._coder = SliceCoder(d, field=field)
+        self.field = resolve_field(field, kernel)
+        self._coder = SliceCoder(d, field=self.field)
         self._planes: dict[int, _Plane] = {}
         self._seq_plane: dict[int, int] = {}
         self._extras: dict[int, list[CodedBlock]] = {}

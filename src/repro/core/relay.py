@@ -43,6 +43,7 @@ from ..crypto.symmetric import StreamCipher
 from .coder import CodedBlock, SliceCoder
 from .errors import CodingError, InsufficientSlicesError, ProtocolError
 from .flow_decoder import FlowDecoder, decode_setup_payload
+from .gf import GF256, resolve_field
 from .integrity import robust_decode
 from .node_info import NodeInfo
 from .packet import Packet, PacketKind, random_padding_slice
@@ -58,6 +59,7 @@ class FlowState:
 
     flow_id: int
     d: int
+    coding_field: GF256 | None = None
     setup_packets: dict[int, Packet] = field(default_factory=dict)
     info: NodeInfo | None = None
     setup_forwarded: bool = False
@@ -70,7 +72,7 @@ class FlowState:
     retired_before: int = 0
 
     def __post_init__(self) -> None:
-        self.data = FlowDecoder(self.d)
+        self.data = FlowDecoder(self.d, field=self.coding_field)
 
     @property
     def decoded(self) -> bool:
@@ -126,6 +128,11 @@ class Relay:
         ``"batched"`` (default) decodes deliverable messages in batched
         GF(2^8) kernels; ``"scalar"`` keeps the per-message reference path.
         Both produce bit-identical delivered messages and stats.
+    field / kernel:
+        The GF(2^8) implementation every coder and decoder of this relay
+        uses (see :func:`repro.core.gf.resolve_field`); kernels are
+        bit-identical by construction, so delivered messages and stats do
+        not depend on the choice.
     """
 
     def __init__(
@@ -135,6 +142,8 @@ class Relay:
         auto_forward_setup: bool = True,
         regenerate_redundancy: bool = True,
         engine: str = "batched",
+        field: GF256 | None = None,
+        kernel: str | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ProtocolError(f"unknown relay engine {engine!r} (known: {ENGINES})")
@@ -143,6 +152,7 @@ class Relay:
         self.auto_forward_setup = auto_forward_setup
         self.regenerate_redundancy = regenerate_redundancy
         self.engine = engine
+        self.field = resolve_field(field, kernel)
         self.flows: dict[int, FlowState] = {}
         self.stats = RelayStats()
 
@@ -151,7 +161,9 @@ class Relay:
     def _state_for(self, packet: Packet) -> FlowState:
         state = self.flows.get(packet.flow_id)
         if state is None:
-            state = FlowState(flow_id=packet.flow_id, d=packet.d)
+            state = FlowState(
+                flow_id=packet.flow_id, d=packet.d, coding_field=self.field
+            )
             self.flows[packet.flow_id] = state
         return state
 
@@ -276,14 +288,14 @@ class Relay:
         blocks = state.own_setup_blocks()
         if len(blocks) < state.d:
             return
-        coder = SliceCoder(state.d)
+        coder = SliceCoder(state.d, field=self.field)
         try:
             # The batched engine decodes its routing slices through the
             # batched Gauss-Jordan kernel (bit-identical fast path, scalar
             # robust_decode fallback); the scalar engine keeps the
             # per-message reference decode.
             if self.engine == "batched":
-                payload = decode_setup_payload(coder, blocks)
+                payload = decode_setup_payload(coder, blocks, field=self.field)
             else:
                 payload = robust_decode(coder, blocks)
             state.info = NodeInfo.unpack(payload)
@@ -471,7 +483,7 @@ class Relay:
             return []
         state.data_flushed.add(seq)
         blocks: list[CodedBlock] | None = None
-        coder = SliceCoder(state.d)
+        coder = SliceCoder(state.d, field=self.field)
         outgoing: list[Packet] = []
         for child_index, (child, child_flow) in enumerate(
             zip(info.next_hop_addresses, info.next_hop_flow_ids)
@@ -539,7 +551,7 @@ class Relay:
         if state.data.count(seq) < state.d:
             return
         blocks = state.data.blocks(seq)
-        coder = SliceCoder(state.d)
+        coder = SliceCoder(state.d, field=self.field)
         try:
             ciphertext = robust_decode(coder, blocks)
         except (InsufficientSlicesError, CodingError):

@@ -23,6 +23,7 @@ import numpy as np
 from ..crypto.symmetric import StreamCipher
 from .coder import CodedBlock, SliceCoder
 from .errors import GraphConstructionError, ProtocolError
+from .gf import GF256, resolve_field
 from .graph import ForwardingGraph, build_forwarding_graph
 from .integrity import wrap
 from .packet import Packet, PacketKind, random_padding_slice
@@ -76,6 +77,10 @@ class Source:
         Protocol parameters (paper's ``d``, ``d'`` and ``L``).
     rng:
         Randomness source; pass a seeded generator for reproducible flows.
+    field / kernel:
+        The GF(2^8) implementation this source's coders use (see
+        :func:`repro.core.gf.resolve_field`); output is bit-identical
+        across kernels by construction.
     """
 
     def __init__(
@@ -86,6 +91,8 @@ class Source:
         path_length: int,
         d_prime: int | None = None,
         rng: np.random.Generator | None = None,
+        field: GF256 | None = None,
+        kernel: str | None = None,
     ) -> None:
         self.address = address
         self.pseudo_sources = list(pseudo_sources)
@@ -93,6 +100,7 @@ class Source:
         self.d_prime = d if d_prime is None else d_prime
         self.path_length = path_length
         self.rng = np.random.default_rng() if rng is None else rng
+        self.field = resolve_field(field, kernel)
         if self.d_prime < self.d:
             raise ProtocolError(f"d' ({self.d_prime}) must be >= d ({self.d})")
         if len(self.pseudo_sources) != self.d_prime - 1:
@@ -126,7 +134,7 @@ class Source:
     def prepare_flow(self, graph: ForwardingGraph) -> FlowSetup:
         """Compile an existing graph into a flow (useful for tests/analysis)."""
         plan = compile_flow_plan(graph, self.rng)
-        coder = SliceCoder(self.d, self.d_prime)
+        coder = SliceCoder(self.d, self.d_prime, field=self.field)
         info_blocks = self._encode_node_infos(plan, coder)
         setup_packets = self._build_setup_packets(plan, info_blocks)
         return FlowSetup(

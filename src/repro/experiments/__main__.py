@@ -5,7 +5,7 @@ Subcommands::
     python -m repro.experiments run <name> [...] [--workers N] [--scale S]
                                     [--out DIR] [--seed N] [--force]
                                     [--backend sim|aio] [--dist N]
-                                    [--matrix SPEC ...]
+                                    [--kernel numpy|compiled] [--matrix SPEC ...]
     python -m repro.experiments coordinate <name> [--port P] [--scale S] [...]
     python -m repro.experiments worker --port P [--host H] [--matrix SPEC] [...]
     python -m repro.experiments report --matrix SPEC [--results DIR] [...]
@@ -132,6 +132,16 @@ def _dispatch(argv: list[str]) -> int:
         help="restrict a scheme-capable experiment (figs. 11-15) to one "
         "registered protocol runtime (slicing, onion, onion-erasure, sphinx)",
     )
+    # Validated in _run_command via the runner's validate_kernel so a
+    # missing compiled backend is a one-line exit-2 error, not a traceback.
+    run_parser.add_argument(
+        "--kernel",
+        default=None,
+        metavar="NAME",
+        help="GF(2^8) kernel trials execute with: 'numpy' (reference) or "
+        "'compiled' (numba/cext, requires the 'fast' extra or a C "
+        "toolchain); results are bit-identical either way",
+    )
     run_parser.add_argument(
         "--force",
         action="store_true",
@@ -179,6 +189,12 @@ def _dispatch(argv: list[str]) -> int:
         default=None,
         metavar="NAME",
         help="restrict a scheme-capable experiment to one protocol runtime",
+    )
+    coordinate_parser.add_argument(
+        "--kernel",
+        default=None,
+        metavar="NAME",
+        help="GF(2^8) kernel workers execute trials with (numpy or compiled)",
     )
     coordinate_parser.add_argument(
         "--chunk", type=int, default=1, help="trial indices per lease (default: 1)"
@@ -368,6 +384,26 @@ def _validate_scheme(names: list[str], scheme: str | None, backend: str) -> int:
     return 0
 
 
+def _validate_kernel(names: list[str], kernel: str | None) -> int:
+    """Per-experiment --kernel validation: one-line exit-2 usage errors.
+
+    An unavailable compiled backend is a usage error too (install the
+    ``fast`` extra or provide a C toolchain), so it gets the same one-line
+    treatment instead of a traceback.
+    """
+    if kernel is None:
+        return 0
+    from ..core.errors import KernelUnavailableError
+    from .runner import validate_kernel
+
+    for name in names:
+        try:
+            validate_kernel(get_experiment(name), kernel)
+        except (ValueError, KernelUnavailableError) as error:
+            return _fail(str(error))
+    return 0
+
+
 def _print_result(name: str, result) -> None:
     """Shared table printing for RunResult and DistributedRunResult."""
     status = "cached" if result.cached else f"{result.elapsed_seconds:.2f}s"
@@ -376,6 +412,8 @@ def _print_result(name: str, result) -> None:
         header += f", backend={result.backend}"
     if getattr(result, "scheme", None):
         header += f", scheme={result.scheme}"
+    if getattr(result, "kernel", None):
+        header += f", kernel={result.kernel}"
     workers_seen = getattr(result, "workers_seen", 0)
     if workers_seen:
         header += f", dist-workers={workers_seen}"
@@ -418,6 +456,9 @@ def _run_command(args: argparse.Namespace, matrices: list) -> int:
     code = _validate_scheme(args.names, args.scheme, args.backend)
     if code:
         return code
+    code = _validate_kernel(args.names, args.kernel)
+    if code:
+        return code
     if args.dist is not None:
         unshardable = [
             name for name in args.names if not get_experiment(name).shardable
@@ -439,6 +480,7 @@ def _run_command(args: argparse.Namespace, matrices: list) -> int:
                 force=args.force,
                 backend=args.backend,
                 scheme=args.scheme,
+                kernel=args.kernel,
                 workers=args.dist,
             )
         else:
@@ -451,6 +493,7 @@ def _run_command(args: argparse.Namespace, matrices: list) -> int:
                 force=args.force,
                 backend=args.backend,
                 scheme=args.scheme,
+                kernel=args.kernel,
             )
         _print_result(name, result)
     return 0
@@ -463,6 +506,9 @@ def _coordinate_command(args: argparse.Namespace) -> int:
     if code:
         return code
     code = _validate_scheme([args.name], args.scheme, args.backend)
+    if code:
+        return code
+    code = _validate_kernel([args.name], args.kernel)
     if code:
         return code
     if not get_experiment(args.name).shardable:
@@ -484,6 +530,7 @@ def _coordinate_command(args: argparse.Namespace) -> int:
         force=args.force,
         backend=args.backend,
         scheme=args.scheme,
+        kernel=args.kernel,
         host=args.host,
         port=args.port,
         workers=0,

@@ -1,9 +1,10 @@
 """Per-PR bench trajectory: the speedup gates as one versioned JSON file.
 
-CI runs five benchmark gates — ``anonbench`` (vectorised anonymity
+CI runs six benchmark gates — ``anonbench`` (vectorised anonymity
 Monte-Carlo), ``chaumbench`` (vectorised Chaum-mix Monte-Carlo),
 ``dataplane-bench`` (batched overlay data plane), ``distbench``
-(coordinator/worker sharding) and ``sphinxbench`` (batched Sphinx cell
+(coordinator/worker sharding), ``gfbench`` (compiled GF(2^8) kernel vs.
+numpy reference) and ``sphinxbench`` (batched Sphinx cell
 masking) — and uploads their artifacts per run, but
 uploaded artifacts expire: nothing in-repo showed how the speedups move
 PR over PR.  This module maintains ``BENCH_trajectory.json``: one entry per
@@ -39,6 +40,7 @@ GATES: dict[str, dict] = {
         "files": ("dataplane-bench.json", "BENCH_dataplane.json"),
     },
     "distbench": {"target": 1.5, "files": ("distbench.json", "BENCH_dist.json")},
+    "gfbench": {"target": 3.0, "files": ("gfbench.json", "BENCH_gf.json")},
     "sphinxbench": {
         "target": 2.0,
         "files": ("sphinxbench.json", "BENCH_sphinx.json"),
@@ -51,18 +53,23 @@ def summarise_gate(document: dict) -> dict:
 
     Every gate experiment reports a ``speedup`` column per row; the median is
     what the benchmark suites assert against, the minimum shows the worst
-    parameter point.
+    parameter point.  Gates that cannot run on the current host (``gfbench``
+    with no compiled provider, ``distbench`` on a single-CPU runner) report
+    ``"skipped"`` rows instead; those summarise to a ``skipped`` reason and
+    render as ``n/a`` in the trend table rather than failing collection.
 
     >>> doc = {"rows": [{"speedup": 12.0}, {"speedup": 20.0}, {"speedup": 14.0}]}
     >>> summarise_gate(doc)
     {'median_speedup': 14.0, 'min_speedup': 12.0, 'rows': 3}
+    >>> summarise_gate({"rows": [{"skipped": "host has 1 CPU(s)"}]})
+    {'skipped': 'host has 1 CPU(s)', 'rows': 1}
     """
-    speedups = [
-        float(row["speedup"])
-        for row in document.get("rows", [])
-        if isinstance(row, dict) and "speedup" in row
-    ]
+    rows = [row for row in document.get("rows", []) if isinstance(row, dict)]
+    speedups = [float(row["speedup"]) for row in rows if "speedup" in row]
     if not speedups:
+        skipped = [str(row["skipped"]) for row in rows if "skipped" in row]
+        if skipped:
+            return {"skipped": skipped[0], "rows": len(skipped)}
         raise ValueError("bench artifact has no rows with a 'speedup' field")
     return {
         "median_speedup": round(statistics.median(speedups), 4),
@@ -148,12 +155,17 @@ def collect(label: str, results_dirs: list[Path], path: Path) -> tuple[dict, lis
 def render_trend(trajectory: dict) -> str:
     """The trajectory as a markdown trend table (one row per label).
 
+    Gates a host could not run (a ``skipped`` summary) render as ``n/a``;
+    gates with no artifact at all render as ``—``.
+
     >>> print(render_trend({"version": 1, "entries": [
     ...     {"label": "pr5", "gates": {"distbench": {"target": 1.5,
-    ...                                              "median_speedup": 2.1}}}]}))
-    | label | anonbench (≥10×) | chaumbench (≥10×) | dataplane-bench (≥5×) | distbench (≥1.5×) | sphinxbench (≥2×) |
-    |---|---|---|---|---|---|
-    | pr5 | — | — | — | 2.1× | — |
+    ...                                              "median_speedup": 2.1},
+    ...                                "gfbench": {"target": 3.0,
+    ...                                            "skipped": "no provider"}}}]}))
+    | label | anonbench (≥10×) | chaumbench (≥10×) | dataplane-bench (≥5×) | distbench (≥1.5×) | gfbench (≥3×) | sphinxbench (≥2×) |
+    |---|---|---|---|---|---|---|
+    | pr5 | — | — | — | 2.1× | n/a | — |
     """
     gate_names = sorted(GATES)
     header = "| label | " + " | ".join(
@@ -165,8 +177,11 @@ def render_trend(trajectory: dict) -> str:
         cells = []
         for gate in gate_names:
             measured = entry.get("gates", {}).get(gate)
-            cells.append(
-                f"{measured['median_speedup']:g}×" if measured else "—"
-            )
+            if measured is None:
+                cells.append("—")
+            elif "skipped" in measured:
+                cells.append("n/a")
+            else:
+                cells.append(f"{measured['median_speedup']:g}×")
         lines.append(f"| {entry.get('label', '?')} | " + " | ".join(cells) + " |")
     return "\n".join(lines)

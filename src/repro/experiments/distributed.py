@@ -75,7 +75,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..core.errors import PacketFormatError
+from ..core.errors import KernelUnavailableError, PacketFormatError
 from ..overlay.aio import FRAME_HEADER, MAX_FRAME_BYTES, encode_frame, read_frame
 from .registry import Experiment, get_experiment
 from .runner import (
@@ -86,6 +86,7 @@ from .runner import (
     execute_trial,
     reduce_rows,
     trial_payloads,
+    validate_kernel,
     validate_scheme,
     write_run_artifacts,
 )
@@ -311,6 +312,7 @@ class DistributedRunResult:
     workers_seen: int
     redispatched: int
     scheme: str | None = None
+    kernel: str | None = None
 
 
 @dataclass
@@ -344,6 +346,7 @@ class Coordinator:
         seed: int,
         backend: str = "sim",
         scheme: str | None = None,
+        kernel: str | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
@@ -360,6 +363,7 @@ class Coordinator:
         self.seed = seed
         self.backend = backend
         self.scheme = scheme
+        self.kernel = kernel
         self.host = host
         self.port = port
         self.lease_seconds = lease_seconds
@@ -507,6 +511,7 @@ class Coordinator:
                     "seed": self.seed,
                     "backend": self.backend,
                     "scheme": self.scheme,
+                    "kernel": self.kernel,
                     "trial_count": state.ledger.total,
                     "trials_digest": self._digest,
                 },
@@ -594,6 +599,7 @@ def run_distributed(
     force: bool = False,
     backend: str = "sim",
     scheme: str | None = None,
+    kernel: str | None = None,
     host: str = "127.0.0.1",
     port: int = 0,
     workers: int = 0,
@@ -635,6 +641,8 @@ def run_distributed(
         )
     if scheme is not None:
         validate_scheme(experiment, scheme, backend)
+    if kernel is not None:
+        validate_kernel(experiment, kernel)
     seed = experiment.base_seed if seed is None else int(seed)
     started = time.perf_counter()
     trials = build_trial_list(experiment, scale, backend, scheme)
@@ -661,6 +669,7 @@ def run_distributed(
                 workers_seen=0,
                 redispatched=0,
                 scheme=scheme,
+                kernel=kernel,
             )
 
     coordinator = Coordinator(
@@ -670,6 +679,7 @@ def run_distributed(
         seed=seed,
         backend=backend,
         scheme=scheme,
+        kernel=kernel,
         host=host,
         port=port,
         chunk_size=chunk_size,
@@ -696,6 +706,7 @@ def run_distributed(
         workers_seen=coordinator.state.workers_seen,
         redispatched=coordinator.state.redispatched,
         scheme=scheme,
+        kernel=kernel,
     )
 
 
@@ -813,7 +824,19 @@ def run_worker(
                 file=sys.stderr,
             )
             return 1
-        payloads = trial_payloads(experiment.name, trials, int(job["seed"]))
+        kernel = job.get("kernel")
+        if kernel is not None:
+            try:
+                validate_kernel(experiment, str(kernel))
+            except (ValueError, KernelUnavailableError) as error:
+                print(f"worker error: {error}", file=sys.stderr)
+                return 1
+        payloads = trial_payloads(
+            experiment.name,
+            trials,
+            int(job["seed"]),
+            None if kernel is None else str(kernel),
+        )
         log(f"worker {label}: joined {experiment.name} ({len(trials)} trials)")
         leases_taken = 0
         sock.sendall(encode_message({"type": "request"}))

@@ -856,6 +856,49 @@ def dataplane_microbenchmark(scale: float = 1.0) -> list[dict]:
     return experiment_rows("dataplane-bench", scale=scale)
 
 
+# -- GF(2^8) kernel microbenchmark -------------------------------------------------
+
+#: The gfbench acceptance target: the compiled GF(2^8) kernel must beat the
+#: numpy reference by at least this factor at the data plane's shapes.
+GFBENCH_TARGET_SPEEDUP = 3.0
+
+
+def _gfbench_trials(scale: float) -> list[dict]:
+    reps = max(int(3 * scale), 2)
+    # Three seeds per operation so the benchmark gate's median is a genuine
+    # middle value.
+    return [
+        {"op": op, "seed": seed, "reps": reps}
+        for op in ("matmul", "invert")
+        for seed in (42, 1042, 2042)
+    ]
+
+
+def _gfbench_run(params: dict, rng: np.random.Generator) -> dict:
+    from .gfbench import compare_kernels
+
+    row = compare_kernels(params["op"], reps=params["reps"], seed=params["seed"])
+    return {"seed": params["seed"], **row}
+
+
+register(
+    Experiment(
+        name="gfbench",
+        title="GF(2^8) kernel microbenchmark: compiled kernel vs. numpy reference at dataplane shapes",
+        build_trials=_gfbench_trials,
+        run_trial=_gfbench_run,
+        deterministic=False,  # wall-clock timings; never serve from cache
+        kernels=("numpy",),  # it measures the kernels against each other itself
+        shardable=False,  # single-host comparison; numbers mean nothing sharded
+    )
+)
+
+
+def gf_kernel_microbenchmark(scale: float = 1.0) -> list[dict]:
+    """Compiled GF(2^8) kernel vs. the numpy reference at dataplane shapes."""
+    return experiment_rows("gfbench", scale=scale)
+
+
 # -- Chaum-mix Monte-Carlo microbenchmark ------------------------------------------
 
 #: Trial count of the batched-vs-scalar Chaum comparison.
@@ -1058,6 +1101,12 @@ DISTBENCH_EXPERIMENT = "fig11"
 #: single worker's compute time by at least this factor at bench scale.
 DISTBENCH_TARGET_SPEEDUP = 1.5
 
+#: Minimum host CPUs for the speedup number to mean anything: two worker
+#: processes time-slicing one core measure scheduler fairness, not sharding.
+#: Below this the benchmark records a ``"skipped"`` row (rendered ``n/a`` by
+#: the bench-history trend) instead of a misleading failure.
+DISTBENCH_MIN_CPUS = 2
+
 
 def _distbench_trials(scale: float) -> list[dict]:
     # The *inner* scale sizes fig11's per-trial work (num_messages) so that
@@ -1069,6 +1118,7 @@ def _distbench_trials(scale: float) -> list[dict]:
 
 
 def _distbench_run(params: dict, rng: np.random.Generator) -> dict:
+    import os
     import tempfile
     from pathlib import Path
 
@@ -1076,6 +1126,17 @@ def _distbench_run(params: dict, rng: np.random.Generator) -> dict:
     from .runner import run_experiment
 
     name = params["experiment"]
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < DISTBENCH_MIN_CPUS:
+        return {
+            "experiment": name,
+            "cpu_count": cpu_count,
+            "skipped": (
+                f"host has {cpu_count} CPU(s); the 2-worker sharding speedup "
+                f"needs >= {DISTBENCH_MIN_CPUS} to measure parallelism rather "
+                "than time-slicing"
+            ),
+        }
     inner_scale = params["inner_scale"]
     worker_counts = list(params["worker_counts"])
     seed = spawn_seed(rng)
@@ -1106,6 +1167,7 @@ def _distbench_run(params: dict, rng: np.random.Generator) -> dict:
     best = worker_counts[-1]
     return {
         "experiment": name,
+        "cpu_count": cpu_count,
         "inner_scale": inner_scale,
         "trials_sharded": reference.trial_count,
         "workers": best,
@@ -1123,6 +1185,7 @@ register(
         build_trials=_distbench_trials,
         run_trial=_distbench_run,
         deterministic=False,  # wall-clock timings; never serve from cache
+        kernels=("numpy",),  # it spawns worker processes of its own
         shardable=False,  # it *runs* the coordinator; sharding it would nest fan-outs
     )
 )
@@ -1151,6 +1214,7 @@ FIGURES = {
     "anonbench": anonymity_microbenchmark,
     "chaumbench": chaum_microbenchmark,
     "dataplane-bench": dataplane_microbenchmark,
+    "gfbench": gf_kernel_microbenchmark,
     "sphinxbench": sphinx_microbenchmark,
     "distbench": distributed_sharding_benchmark,
 }

@@ -35,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..core.gf import field_for_kernel, use_kernel
 from .registry import Experiment, get_experiment
 
 #: Where artifacts land unless the caller overrides it (the CLI's --out).
@@ -64,6 +65,29 @@ class RunResult:
     elapsed_seconds: float
     backend: str = "sim"
     scheme: str | None = None
+    kernel: str | None = None
+
+
+def validate_kernel(experiment: Experiment, kernel: str) -> None:
+    """Reject ``--kernel`` selections the experiment or host cannot run.
+
+    Raises :class:`ValueError` for an unsupported selection and
+    :class:`~repro.core.errors.KernelUnavailableError` when the compiled
+    backend cannot load; both carry one-line messages the CLI surfaces
+    verbatim as exit-2 usage errors.
+
+    The kernel is deliberately *not* stamped into trial dictionaries: kernels
+    are bit-identical by construction, so the artifact cache (and the
+    artifact bytes) must stay kernel-independent — a cached numpy run
+    serves a ``--kernel compiled`` request and vice versa.
+    """
+    if kernel not in experiment.kernels:
+        supported = ", ".join(experiment.kernels)
+        raise ValueError(
+            f"experiment {experiment.name!r} does not support kernel {kernel!r} "
+            f"(supported: {supported})"
+        )
+    field_for_kernel(kernel)  # raises KernelUnavailableError when unavailable
 
 
 def validate_scheme(experiment: Experiment, scheme: str, backend: str) -> None:
@@ -106,6 +130,7 @@ def run_experiment(
     force: bool = False,
     backend: str = "sim",
     scheme: str | None = None,
+    kernel: str | None = None,
 ) -> RunResult:
     """Run (or load from cache) one registered experiment.
 
@@ -117,7 +142,11 @@ def run_experiment(
     cache — their timing fields are wall-clock-dependent.  ``scheme``
     restricts a scheme-capable experiment to one registered protocol runtime
     (the scheme lands in every trial dictionary, so it keys the artifact
-    cache; the default multi-scheme trial list is untouched).
+    cache; the default multi-scheme trial list is untouched).  ``kernel``
+    selects the GF(2^8) implementation trials execute with
+    (``"numpy"``/``"compiled"``); it travels out-of-band of the trial
+    dictionaries because kernels are bit-identical by construction, keeping
+    cached artifacts kernel-independent.
     """
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
@@ -132,6 +161,8 @@ def run_experiment(
         )
     if scheme is not None:
         validate_scheme(experiment, scheme, backend)
+    if kernel is not None:
+        validate_kernel(experiment, kernel)
     seed = experiment.base_seed if seed is None else int(seed)
     started = time.perf_counter()
     trials = build_trial_list(experiment, scale, backend, scheme)
@@ -157,9 +188,10 @@ def run_experiment(
                 elapsed_seconds=time.perf_counter() - started,
                 backend=backend,
                 scheme=scheme,
+                kernel=kernel,
             )
 
-    results = _run_trials(experiment, trials, seed, workers)
+    results = _run_trials(experiment, trials, seed, workers, kernel)
     rows = reduce_rows(experiment, trials, results)
 
     if artifact is not None:
@@ -176,6 +208,7 @@ def run_experiment(
         elapsed_seconds=time.perf_counter() - started,
         backend=backend,
         scheme=scheme,
+        kernel=kernel,
     )
 
 
@@ -221,30 +254,33 @@ def build_trial_list(
 
 
 def trial_payloads(
-    name: str, trials: list[dict], seed: int
-) -> list[tuple[str, int, dict, np.random.SeedSequence]]:
+    name: str, trials: list[dict], seed: int, kernel: str | None = None
+) -> list[tuple[str, int, dict, np.random.SeedSequence, str | None]]:
     """Per-trial execution payloads with deterministically spawned seeds.
 
     ``SeedSequence.spawn`` derives child ``i`` purely from ``(seed, i)``, so
     any process that knows the experiment name, trial list and root seed
     reconstructs the identical payload for trial ``i`` — the property both
-    the local pool and the distributed workers rely on.
+    the local pool and the distributed workers rely on.  The kernel rides in
+    the payload (not the trial dict) so it reaches workers without touching
+    the cache key or the artifact bytes.
     """
     children = np.random.SeedSequence(seed).spawn(len(trials))
     return [
-        (name, index, params, child)
+        (name, index, params, child, kernel)
         for index, (params, child) in enumerate(zip(trials, children))
     ]
 
 
 def execute_trial(
-    payload: tuple[str, int, dict, np.random.SeedSequence],
+    payload: tuple[str, int, dict, np.random.SeedSequence, str | None],
 ) -> tuple[int, dict]:
     """Run one trial; module-level so it pickles into worker processes."""
-    name, index, params, seed_sequence = payload
+    name, index, params, seed_sequence, kernel = payload
     experiment = get_experiment(name)
     rng = np.random.default_rng(seed_sequence)
-    return index, experiment.run_trial(params, rng)
+    with use_kernel(kernel):
+        return index, experiment.run_trial(params, rng)
 
 
 def reduce_rows(experiment: Experiment, trials: list[dict], results: list[dict]) -> list[dict]:
@@ -253,9 +289,13 @@ def reduce_rows(experiment: Experiment, trials: list[dict], results: list[dict])
 
 
 def _run_trials(
-    experiment: Experiment, trials: list[dict], seed: int, workers: int
+    experiment: Experiment,
+    trials: list[dict],
+    seed: int,
+    workers: int,
+    kernel: str | None = None,
 ) -> list[dict]:
-    payloads = trial_payloads(experiment.name, trials, seed)
+    payloads = trial_payloads(experiment.name, trials, seed, kernel)
     workers = min(workers, len(payloads)) or 1
     if workers == 1:
         indexed = [execute_trial(payload) for payload in payloads]

@@ -51,6 +51,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.errors import SimulationError
+from ..core.gf import resolve_field
 from ..core.packet import Packet, PacketKind
 from ..core.relay import Relay
 from ..core.source import FlowSetup, Source
@@ -484,6 +485,11 @@ class SlicingRuntime:
         Relay flow-table entries idle longer than this are garbage collected
         (the satellite of :meth:`Relay.garbage_collect
         <repro.core.relay.Relay.garbage_collect>`).  ``None`` disables.
+    kernel:
+        The GF(2^8) kernel every relay of this runtime codes with
+        (``"numpy"``/``"compiled"``, see :mod:`repro.core.gf_kernels`);
+        ``None`` follows the process-wide active kernel.  Delivered bytes
+        and stats are bit-identical across kernels by construction.
     """
 
     def __init__(
@@ -496,6 +502,7 @@ class SlicingRuntime:
         seq_retention: int | None = DEFAULT_SEQ_RETENTION,
         flow_retention_seconds: float | None = DEFAULT_FLOW_RETENTION_SECONDS,
         batch_chunk: int = DEFAULT_BATCH_CHUNK,
+        kernel: str | None = None,
     ) -> None:
         if data_plane not in DATA_PLANES:
             raise SimulationError(
@@ -513,6 +520,7 @@ class SlicingRuntime:
         self.seq_retention = seq_retention
         self.flow_retention_seconds = flow_retention_seconds
         self.batch_chunk = batch_chunk
+        self.field = resolve_field(kernel=kernel)
         self.relays: dict[str, Relay] = {}
         self.progress: dict[int, FlowProgress] = {}
         self._flow_setups: dict[int, FlowSetup] = {}
@@ -528,7 +536,10 @@ class SlicingRuntime:
             # Data-plane names deliberately match the relay engine names, so
             # a relay decodes the way its runtime ships.
             self.relays[address] = Relay(
-                address, rng=np.random.default_rng(seed), engine=self.data_plane
+                address,
+                rng=np.random.default_rng(seed),
+                engine=self.data_plane,
+                field=self.field,
             )
         return self.relays[address]
 

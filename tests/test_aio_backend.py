@@ -10,8 +10,10 @@ figure artifacts.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core.errors import SimulationError
+from repro.core.errors import PacketFormatError, SimulationError
 from repro.experiments.runner import run_experiment
 from repro.experiments.setup_latency import measure_setup
 from repro.experiments.throughput import aggregate_throughput_vs_flows, measure_throughput
@@ -22,6 +24,51 @@ from repro.overlay.runtime import build_substrate
 
 def _lan_network(addresses, seed=0):
     return LAN_PROFILE.build_network(addresses, np.random.default_rng(seed))
+
+
+# -- zero-copy framing --------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=80)
+@given(
+    batch_id=st.integers(0, 2**64 - 1),
+    frames=st.lists(st.binary(max_size=256), max_size=12),
+)
+def test_pack_batch_matches_encode_frame_reference(batch_id, frames):
+    """The writelines chunk sequence joins to exactly the per-frame encoding."""
+    from repro.overlay.aio import BATCH_HEADER, encode_frame, pack_batch
+
+    buffer = bytearray()
+    chunks = pack_batch(batch_id, frames, buffer)
+    reference = encode_frame(BATCH_HEADER.pack(batch_id, len(frames))) + b"".join(
+        encode_frame(frame) for frame in frames
+    )
+    assert b"".join(chunks) == reference
+    # Payload chunks are the caller's bytes objects themselves — zero-copy.
+    assert [chunk for chunk in chunks if isinstance(chunk, bytes)] == frames
+
+
+def test_pack_batch_reuses_and_grows_the_buffer():
+    from repro.overlay.aio import pack_batch
+
+    buffer = bytearray()
+    first = pack_batch(1, [b"a", b"bb"], buffer)
+    grown = len(buffer)
+    assert grown > 0
+    joined_small = b"".join(pack_batch(2, [b"x"], buffer))
+    assert len(buffer) == grown  # a smaller batch reuses the allocation
+    del first
+    pack_batch(3, [bytes(2) for _ in range(10)], buffer)
+    assert len(buffer) > grown  # a larger batch grows it in place
+    # Stale tail bytes from earlier batches never leak into the chunks.
+    assert joined_small.endswith(b"x")
+
+
+def test_pack_batch_rejects_oversized_frames_before_writing():
+    from repro.overlay.aio import MAX_FRAME_BYTES, pack_batch
+
+    with pytest.raises(PacketFormatError):
+        pack_batch(1, [b"ok", bytes(MAX_FRAME_BYTES + 1)], bytearray())
 
 
 # -- parity -------------------------------------------------------------------------

@@ -25,6 +25,7 @@ def test_registry_contains_every_figure():
         "anonbench",
         "chaumbench",
         "dataplane-bench",
+        "gfbench",
         "sphinxbench",
         "distbench",
         "distinguishability",

@@ -178,7 +178,7 @@ def test_trajectory_section_renders(full_results):
         MATRIX, full_results, trajectory=trajectory, trajectory_source="BENCH.json"
     )
     markdown = render_markdown(report)
-    assert "| pr6 | 25× | — | — | — | — |" in markdown
+    assert "| pr6 | 25× | — | — | — | — | — |" in markdown
 
 
 # -- bench trajectory --------------------------------------------------------------
@@ -189,6 +189,30 @@ def test_summarise_gate_requires_speedup_rows():
         summarise_gate({"rows": [{"other": 1}]})
 
 
+def test_summarise_gate_skipped_rows_and_na_rendering():
+    # A gate the host could not run (gfbench with no compiled provider,
+    # distbench on one CPU) summarises to its skip reason...
+    summary = summarise_gate(
+        {"rows": [{"op": "matmul", "skipped": "no compiled provider"}]}
+    )
+    assert summary == {"skipped": "no compiled provider", "rows": 1}
+    # ...and renders as n/a, distinct from the no-artifact dash.
+    table = render_trend(
+        {
+            "version": 1,
+            "entries": [
+                {"label": "pr8", "gates": {"gfbench": {"target": 3.0, **summary}}}
+            ],
+        }
+    )
+    assert "| pr8 | — | — | — | — | n/a | — |" in table
+    # Measured rows still win over skipped ones when both are present.
+    mixed = summarise_gate(
+        {"rows": [{"speedup": 4.0}, {"skipped": "one seed could not run"}]}
+    )
+    assert mixed["median_speedup"] == 4.0
+
+
 def test_collect_upserts_and_reports_missing(tmp_path):
     results = tmp_path / "results"
     results.mkdir()
@@ -197,7 +221,13 @@ def test_collect_upserts_and_reports_missing(tmp_path):
     )
     out = tmp_path / "BENCH_trajectory.json"
     trajectory, missing = collect("pr6", [results], out)
-    assert missing == ["chaumbench", "dataplane-bench", "distbench", "sphinxbench"]
+    assert missing == [
+        "chaumbench",
+        "dataplane-bench",
+        "distbench",
+        "gfbench",
+        "sphinxbench",
+    ]
     assert trajectory["entries"][0]["gates"]["anonbench"]["median_speedup"] == 14.0
     # Re-collecting the same label replaces in place; a new label appends.
     (results / "anonbench.json").write_text(
