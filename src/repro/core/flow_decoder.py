@@ -208,7 +208,7 @@ class FlowDecoder:
         message.
     field:
         Finite-field implementation.  Defaults to the shared instance for
-        the process-wide active kernel (see :func:`repro.core.gf.use_kernel`).
+        the active kernel (see :func:`repro.core.gf.use_kernel`).
     kernel:
         Shorthand for ``field=field_for_kernel(kernel)``; ignored when an
         explicit ``field`` is given.

@@ -180,12 +180,18 @@ void gf_gauss_jordan(uint8_t *aug, uint8_t *singular,
 """
 
 
+#: Flags the C provider is always built with (part of the cache digest).
+_CFLAGS = ("-O3", "-fPIC", "-shared")
+
+
 def _compile_shared_library() -> Path:
     """Compile the C provider into the cache directory, reusing prior builds."""
     compiler = os.environ.get("CC", "cc")
-    digest = hashlib.sha256(
-        (_C_SOURCE + "\0" + compiler).encode("utf-8")
-    ).hexdigest()[:16]
+    # The digest covers the *whole* build recipe — source, compiler and
+    # flags — so any change to it invalidates the cached .so instead of
+    # silently reusing a library built under a different recipe.
+    recipe = "\0".join([_C_SOURCE, compiler, *_CFLAGS])
+    digest = hashlib.sha256(recipe.encode("utf-8")).hexdigest()[:16]
     library = CACHE_DIR / f"gf_kernels_{digest}.so"
     if library.is_file():
         return library
@@ -198,7 +204,7 @@ def _compile_shared_library() -> Path:
         temporary = Path(handle.name)
     try:
         subprocess.run(
-            [compiler, "-O3", "-fPIC", "-shared", "-o", str(temporary), str(source)],
+            [compiler, *_CFLAGS, "-o", str(temporary), str(source)],
             check=True,
             capture_output=True,
             text=True,

@@ -455,14 +455,29 @@ class AioOverlayNetwork(OverlayTransport):
             buffer = (
                 self._prefix_buffers.pop() if self._prefix_buffers else bytearray()
             )
-            chunks = pack_batch(batch_id, frames, buffer)
-            # One writelines per batch: the transport joins/queues the chunks
-            # itself, so payload bytes are never copied at the Python level
-            # and frame writes stay contiguous (per-connection FIFO intact).
-            writer.writelines(chunks)
-            del chunks  # release the buffer's memoryview exports
-            await writer.drain()
-            self._prefix_buffers.append(buffer)
+            handed_to_transport = False
+            try:
+                chunks = pack_batch(batch_id, frames, buffer)
+                # One writelines per batch: the transport joins/queues the
+                # chunks itself, so payload bytes are never copied at the
+                # Python level and frame writes stay contiguous
+                # (per-connection FIFO intact).
+                handed_to_transport = True
+                writer.writelines(chunks)
+                del chunks  # release our own memoryview exports
+                await writer.drain()
+            finally:
+                # drain() only waits for the write buffer to fall below the
+                # high-water mark — the transport may still hold memoryviews
+                # of `buffer` queued for send.  Reusing it then would
+                # pack_into over unsent wire bytes (or BufferError on
+                # extend), so only pool it once the transport has flushed
+                # everything; otherwise drop it and let the next batch
+                # allocate fresh.
+                if not handed_to_transport or (
+                    writer.transport.get_write_buffer_size() == 0
+                ):
+                    self._prefix_buffers.append(buffer)
         except asyncio.CancelledError:
             raise
         except BaseException as exc:  # noqa: B036 - must not strand _quiesce

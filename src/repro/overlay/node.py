@@ -488,7 +488,7 @@ class SlicingRuntime:
     kernel:
         The GF(2^8) kernel every relay of this runtime codes with
         (``"numpy"``/``"compiled"``, see :mod:`repro.core.gf_kernels`);
-        ``None`` follows the process-wide active kernel.  Delivered bytes
+        ``None`` follows the active kernel.  Delivered bytes
         and stats are bit-identical across kernels by construction.
     """
 
