@@ -2,8 +2,8 @@
 """Collect the benchmark speedup gates into BENCH_trajectory.json.
 
 ``collect`` reads whichever gate artifacts (anonbench, chaumbench,
-dataplane-bench, distbench, gfbench, sphinxbench) exist in the given
-results directories and
+dataplane-bench, distbench, distsweep, gfbench, sphinxbench) exist in the
+given results directories and
 upserts one entry per ``--label`` into the versioned trajectory file;
 ``render`` prints the trajectory as the markdown trend table that the
 scenario report embeds.

@@ -6,8 +6,13 @@ Subcommands::
                                     [--out DIR] [--seed N] [--force]
                                     [--backend sim|aio] [--dist N]
                                     [--kernel numpy|compiled] [--matrix SPEC ...]
-    python -m repro.experiments coordinate <name> [--port P] [--scale S] [...]
-    python -m repro.experiments worker --port P [--host H] [--matrix SPEC] [...]
+    python -m repro.experiments coordinate <name> [--host H] [--port P]
+                                    [--transport plain|secure] [--keyfile K]
+                                    [--authorized-keys A] [--scale S] [...]
+    python -m repro.experiments worker --port P [--host H] [--matrix SPEC]
+                                    [--transport plain|secure] [--keyfile K]
+                                    [--coordinator-key PUB] [...]
+    python -m repro.experiments keygen PATH
     python -m repro.experiments report --matrix SPEC [--results DIR] [...]
     python -m repro.experiments list
 
@@ -21,7 +26,10 @@ comparison.  ``--dist N`` shards the trials across ``N`` local worker
 processes through the distributed coordinator instead of the in-process
 pool.  ``coordinate`` / ``worker`` run the two halves of the distributed
 subsystem separately (the coordinator leases trial chunks over TCP and
-merges the results into the same canonical artifact).  ``list`` prints
+merges the results into the same canonical artifact); ``--host`` takes
+either side off localhost, and ``--transport secure`` mounts the frames on
+the authenticated :mod:`repro.net` channel using key files from ``keygen``
+(see ``docs/deployment.md`` for the fleet handbook).  ``list`` prints
 every registered experiment.
 
 ``--matrix SPEC`` registers the cells of a scenario-matrix spec file
@@ -44,7 +52,11 @@ from .registry import experiment_names, get_experiment
 from .runner import DEFAULT_RESULTS_DIR, run_experiment
 from .tables import format_table
 
-_SUBCOMMANDS = ("run", "list", "coordinate", "worker", "report")
+_SUBCOMMANDS = ("run", "list", "coordinate", "worker", "report", "keygen")
+
+#: Wire transports the distributed subcommands accept (mirrors
+#: :data:`repro.experiments.distributed.TRANSPORTS`).
+_TRANSPORT_CHOICES = ("plain", "secure")
 
 
 def _positive_float(raw: str) -> float:
@@ -143,6 +155,14 @@ def _dispatch(argv: list[str]) -> int:
         "toolchain); results are bit-identical either way",
     )
     run_parser.add_argument(
+        "--transport",
+        choices=_TRANSPORT_CHOICES,
+        default="plain",
+        help="wire transport for --dist runs: 'plain' (default) or 'secure' "
+        "(authenticated Noise-style channel with auto-generated throwaway "
+        "keys); artifacts are byte-identical either way",
+    )
+    run_parser.add_argument(
         "--force",
         action="store_true",
         help="recompute even if a matching artifact exists",
@@ -226,6 +246,25 @@ def _dispatch(argv: list[str]) -> int:
         help="scenario-matrix spec file whose cells to register (repeatable)",
     )
     coordinate_parser.add_argument(
+        "--transport",
+        choices=_TRANSPORT_CHOICES,
+        default="plain",
+        help="wire transport workers must speak: 'plain' (default) or "
+        "'secure' (requires --keyfile and --authorized-keys)",
+    )
+    coordinate_parser.add_argument(
+        "--keyfile",
+        default=None,
+        metavar="PATH",
+        help="coordinator static secret key file (see the 'keygen' subcommand)",
+    )
+    coordinate_parser.add_argument(
+        "--authorized-keys",
+        default=None,
+        metavar="PATH",
+        help="allowlist of authorized worker public keys, one hex key per line",
+    )
+    coordinate_parser.add_argument(
         "--force",
         action="store_true",
         help="recompute even if a matching artifact exists",
@@ -265,6 +304,36 @@ def _dispatch(argv: list[str]) -> int:
         help="scenario-matrix spec file whose cells to register before "
         "serving leases (remote workers that did not inherit "
         "REPRO_SCENARIO_MATRIX)",
+    )
+    worker_parser.add_argument(
+        "--transport",
+        choices=_TRANSPORT_CHOICES,
+        default="plain",
+        help="wire transport to the coordinator: 'plain' (default) or "
+        "'secure' (requires --keyfile and --coordinator-key)",
+    )
+    worker_parser.add_argument(
+        "--keyfile",
+        default=None,
+        metavar="PATH",
+        help="worker static secret key file (see the 'keygen' subcommand)",
+    )
+    worker_parser.add_argument(
+        "--coordinator-key",
+        default=None,
+        metavar="PATH",
+        help="the coordinator's public key file (<keyfile>.pub on its host)",
+    )
+
+    keygen_parser = subparsers.add_parser(
+        "keygen",
+        help="generate a static transport keypair for the secure transport",
+    )
+    keygen_parser.add_argument(
+        "path",
+        metavar="PATH",
+        help="secret key file to create (mode 0600); the public key lands "
+        "in PATH.pub",
     )
 
     report_parser = subparsers.add_parser(
@@ -324,6 +393,8 @@ def _dispatch(argv: list[str]) -> int:
         return _coordinate_command(args)
     if args.command == "worker":
         return _worker_command(args)
+    if args.command == "keygen":
+        return _keygen_command(args)
     if args.command == "report":
         return _report_command(args, matrices[0])
     return _run_command(args, matrices)
@@ -350,6 +421,87 @@ def _fail(message: str) -> int:
 
     print(f"error: {message}", file=sys.stderr)
     return 2
+
+
+def _validate_endpoint(host: str, port: int, *, listen: bool) -> int:
+    """Host/port sanity for the distributed subcommands: exit-2 one-liners.
+
+    A typo'd hostname or an out-of-range/privileged port must fail before
+    any socket is opened — with the same one-line treatment as an unknown
+    experiment name — instead of surfacing as a raw ``socket.gaierror`` or
+    ``PermissionError`` traceback mid-run.
+    """
+    import socket
+
+    if not 0 <= port <= 65535:
+        return _fail(f"port {port} outside the valid range 0..65535")
+    if port == 0 and not listen:
+        return _fail("a worker needs the coordinator's actual port, not 0")
+    if 1 <= port <= 1023:
+        return _fail(
+            f"port {port} is in the privileged range 1..1023; pick one >= 1024"
+        )
+    try:
+        socket.getaddrinfo(host, None)
+    except socket.gaierror as error:
+        return _fail(f"cannot resolve host {host!r} ({error})")
+    return 0
+
+
+def _load_credential(
+    keyfile: str | None,
+    *,
+    authorized_keys: str | None = None,
+    coordinator_key: str | None = None,
+    role: str,
+):
+    """Build a TransportCredential from CLI key-file flags, or exit 2.
+
+    Returns ``(credential, 0)`` on success, ``(None, 2)`` after printing the
+    one-line error.  ``role`` is "coordinate" or "worker" and decides which
+    companion flag is required alongside ``--keyfile``.
+    """
+    from ..core.errors import KeyFileError
+    from ..net import (
+        TransportCredential,
+        load_allowlist,
+        load_keypair,
+        load_public_key,
+    )
+
+    if keyfile is None:
+        return None, _fail(
+            f"--transport secure needs --keyfile "
+            f"(generate one with: python -m repro.experiments keygen <path>)"
+        )
+    if role == "coordinate" and authorized_keys is None:
+        return None, _fail(
+            "--transport secure needs --authorized-keys "
+            "(one worker public key per line)"
+        )
+    if role == "worker" and coordinator_key is None:
+        return None, _fail(
+            "--transport secure needs --coordinator-key "
+            "(the coordinator's .pub file)"
+        )
+    try:
+        keypair = load_keypair(keyfile)
+        authorized = (
+            frozenset()
+            if authorized_keys is None
+            else load_allowlist(authorized_keys)
+        )
+        remote_public = (
+            None if coordinator_key is None else load_public_key(coordinator_key)
+        )
+    except KeyFileError as error:
+        return None, _fail(str(error))
+    return (
+        TransportCredential(
+            keypair=keypair, authorized=authorized, remote_public=remote_public
+        ),
+        0,
+    )
 
 
 def _validate_names(names: list[str], backend: str) -> int:
@@ -450,6 +602,11 @@ def _run_command(args: argparse.Namespace, matrices: list) -> int:
             "--workers selects the in-process pool and --dist the distributed "
             "coordinator; pass one or the other"
         )
+    if args.transport != "plain" and args.dist is None:
+        return _fail(
+            "--transport applies to the distributed wire; pair it with --dist "
+            "(or use the coordinate/worker subcommands)"
+        )
     code = _validate_names(args.names, args.backend)
     if code:
         return code
@@ -482,6 +639,7 @@ def _run_command(args: argparse.Namespace, matrices: list) -> int:
                 scheme=args.scheme,
                 kernel=args.kernel,
                 workers=args.dist,
+                transport=args.transport,
             )
         else:
             result = run_experiment(
@@ -522,6 +680,18 @@ def _coordinate_command(args: argparse.Namespace) -> int:
         return _fail(f"--lease-seconds must be positive, got {args.lease_seconds}")
     if args.min_workers < 1:
         return _fail(f"--min-workers must be >= 1, got {args.min_workers}")
+    code = _validate_endpoint(args.host, args.port, listen=True)
+    if code:
+        return code
+    credential = None
+    if args.transport == "secure":
+        credential, code = _load_credential(
+            args.keyfile, authorized_keys=args.authorized_keys, role="coordinate"
+        )
+        if code:
+            return code
+    elif args.keyfile or args.authorized_keys:
+        return _fail("--keyfile/--authorized-keys require --transport secure")
     result = run_distributed(
         args.name,
         scale=args.scale,
@@ -538,6 +708,8 @@ def _coordinate_command(args: argparse.Namespace) -> int:
         chunk_size=args.chunk,
         lease_seconds=args.lease_seconds,
         timeout=args.timeout,
+        transport=args.transport,
+        credential=credential,
         log=print,
     )
     print(
@@ -554,14 +726,42 @@ def _worker_command(args: argparse.Namespace) -> int:
 
     from .distributed import run_worker
 
+    code = _validate_endpoint(args.host, args.port, listen=False)
+    if code:
+        return code
+    credential = None
+    if args.transport == "secure":
+        credential, code = _load_credential(
+            args.keyfile, coordinator_key=args.coordinator_key, role="worker"
+        )
+        if code:
+            return code
+    elif args.keyfile or args.coordinator_key:
+        return _fail("--keyfile/--coordinator-key require --transport secure")
     return run_worker(
         host=args.host,
         port=args.port,
         label=args.label,
         crash_after_leases=args.crash_after_leases,
         connect_timeout=args.connect_timeout,
+        transport=args.transport,
+        credential=credential,
         log=lambda message: print(message, file=sys.stderr),
     )
+
+
+def _keygen_command(args: argparse.Namespace) -> int:
+    from ..core.errors import KeyFileError
+    from ..net import write_keypair
+
+    try:
+        pair = write_keypair(args.path)
+    except KeyFileError as error:
+        return _fail(str(error))
+    print(f"secret key: {args.path} (mode 0600 — keep it on this host)")
+    print(f"public key: {args.path}.pub")
+    print(f"public hex: {pair.public.hex()}")
+    return 0
 
 
 def _report_command(args: argparse.Namespace, matrix) -> int:

@@ -1,9 +1,10 @@
 """Per-PR bench trajectory: the speedup gates as one versioned JSON file.
 
-CI runs six benchmark gates — ``anonbench`` (vectorised anonymity
+CI runs seven benchmark gates — ``anonbench`` (vectorised anonymity
 Monte-Carlo), ``chaumbench`` (vectorised Chaum-mix Monte-Carlo),
 ``dataplane-bench`` (batched overlay data plane), ``distbench``
-(coordinator/worker sharding), ``gfbench`` (compiled GF(2^8) kernel vs.
+(coordinator/worker sharding), ``distsweep`` (worker-count scaling,
+plain vs. secure wire), ``gfbench`` (compiled GF(2^8) kernel vs.
 numpy reference) and ``sphinxbench`` (batched Sphinx cell
 masking) — and uploads their artifacts per run, but
 uploaded artifacts expire: nothing in-repo showed how the speedups move
@@ -40,6 +41,7 @@ GATES: dict[str, dict] = {
         "files": ("dataplane-bench.json", "BENCH_dataplane.json"),
     },
     "distbench": {"target": 1.5, "files": ("distbench.json", "BENCH_dist.json")},
+    "distsweep": {"target": 1.5, "files": ("distsweep.json", "BENCH_distsweep.json")},
     "gfbench": {"target": 3.0, "files": ("gfbench.json", "BENCH_gf.json")},
     "sphinxbench": {
         "target": 2.0,
@@ -163,9 +165,9 @@ def render_trend(trajectory: dict) -> str:
     ...                                              "median_speedup": 2.1},
     ...                                "gfbench": {"target": 3.0,
     ...                                            "skipped": "no provider"}}}]}))
-    | label | anonbench (≥10×) | chaumbench (≥10×) | dataplane-bench (≥5×) | distbench (≥1.5×) | gfbench (≥3×) | sphinxbench (≥2×) |
-    |---|---|---|---|---|---|---|
-    | pr5 | — | — | — | 2.1× | n/a | — |
+    | label | anonbench (≥10×) | chaumbench (≥10×) | dataplane-bench (≥5×) | distbench (≥1.5×) | distsweep (≥1.5×) | gfbench (≥3×) | sphinxbench (≥2×) |
+    |---|---|---|---|---|---|---|---|
+    | pr5 | — | — | — | 2.1× | — | n/a | — |
     """
     gate_names = sorted(GATES)
     header = "| label | " + " | ".join(

@@ -70,13 +70,26 @@ import os
 import socket
 import subprocess
 import sys
+import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..core.errors import KernelUnavailableError, PacketFormatError
-from ..overlay.aio import FRAME_HEADER, MAX_FRAME_BYTES, encode_frame, read_frame
+from ..core.errors import (
+    HandshakeError,
+    KernelUnavailableError,
+    PacketFormatError,
+    SecureTransportError,
+)
+from ..net import TransportCredential, write_keypair
+from ..net.channel import (
+    AioFrameChannel,
+    SyncFrameChannel,
+    accept_secure_aio,
+    connect_secure_sync,
+)
+from ..overlay.aio import FRAME_HEADER, MAX_FRAME_BYTES, encode_frame
 from .registry import Experiment, get_experiment
 from .runner import (
     _jsonify,
@@ -105,6 +118,13 @@ DEFAULT_CHUNK_SIZE = 1
 #: Seconds a worker sleeps when told to ``wait`` (no leasable work yet).
 DEFAULT_POLL_SECONDS = 0.2
 
+#: Wire transports both sides understand.  ``plain`` is the original
+#: length-prefixed framing; ``secure`` mounts the same frames on the
+#: authenticated :mod:`repro.net` channel (handshake first, then one AEAD
+#: message per frame).  The JSON payloads — and therefore the merged
+#: artifacts — are identical either way.
+TRANSPORTS = ("plain", "secure")
+
 
 # -- message layer ------------------------------------------------------------------
 
@@ -120,10 +140,19 @@ def encode_message(message: dict) -> bytes:
     :data:`~repro.overlay.aio.MAX_FRAME_BYTES` — the same limit as the
     overlay wire.
     """
+    return encode_frame(message_payload(message))
+
+
+def message_payload(message: dict) -> bytes:
+    """Serialise one protocol message to its unframed JSON payload bytes.
+
+    The frame channels (:mod:`repro.net.channel`) add their own plain or
+    encrypted framing around this payload; :func:`encode_message` is the
+    plain-wire composition kept for the protocol tests.
+    """
     if not isinstance(message, dict) or not isinstance(message.get("type"), str):
         raise PacketFormatError("protocol messages are dicts with a string 'type'")
-    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
-    return encode_frame(payload)
+    return json.dumps(message, separators=(",", ":")).encode("utf-8")
 
 
 def decode_message(payload: bytes) -> dict:
@@ -313,6 +342,9 @@ class DistributedRunResult:
     redispatched: int
     scheme: str | None = None
     kernel: str | None = None
+    #: Wire transport the run used ("plain" | "secure"); the merged artifact
+    #: is byte-identical either way.
+    transport: str = "plain"
 
 
 @dataclass
@@ -353,10 +385,26 @@ class Coordinator:
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         min_workers: int = 1,
         timeout: float | None = None,
+        transport: str = "plain",
+        credential: TransportCredential | None = None,
+        worker_extra_args: list[str] | None = None,
         log=None,
     ) -> None:
         if min_workers < 1:
             raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        if transport not in TRANSPORTS:
+            supported = ", ".join(TRANSPORTS)
+            raise ValueError(
+                f"unknown transport {transport!r} (supported: {supported})"
+            )
+        if transport == "secure" and credential is None:
+            raise ValueError(
+                "the secure transport needs a TransportCredential "
+                "(static keypair + authorized worker keys)"
+            )
+        self.transport = transport
+        self.credential = credential
+        self.worker_extra_args = list(worker_extra_args or [])
         self.experiment = experiment
         self.trials = trials
         self.scale = scale
@@ -441,6 +489,7 @@ class Coordinator:
             str(self.port),
             "--label",
             f"local-{rank}",
+            *self.worker_extra_args,
         ]
         return subprocess.Popen(command, stdout=subprocess.DEVNULL)
 
@@ -480,7 +529,24 @@ class Coordinator:
             task.add_done_callback(self._handler_tasks.discard)
         self._handler_writers.add(writer)
         try:
-            hello = await read_frame(reader)
+            if self.transport == "secure":
+                # The handshake (and the allowlist check inside accept) runs
+                # to completion before any protocol frame is read: an
+                # unauthorized or tampering peer is rejected here, with no
+                # job state touched.
+                try:
+                    channel = await accept_secure_aio(
+                        reader,
+                        writer,
+                        self.credential.keypair,
+                        self.credential.authorized,
+                    )
+                except HandshakeError as exc:
+                    self.log(f"coordinator: rejected connection: {exc}")
+                    return
+            else:
+                channel = AioFrameChannel(reader, writer)
+            hello = await channel.recv_frame()
             if hello is None:
                 return
             message = decode_message(hello)
@@ -489,7 +555,7 @@ class Coordinator:
                 or message.get("protocol") != PROTOCOL_VERSION
             ):
                 await self._send(
-                    writer,
+                    channel,
                     {
                         "type": "error",
                         "message": f"expected hello with protocol {PROTOCOL_VERSION}",
@@ -502,7 +568,7 @@ class Coordinator:
             worker_key = f"{label}#{state.workers_seen}"
             self.log(f"coordinator: worker {worker_key} connected")
             await self._send(
-                writer,
+                channel,
                 {
                     "type": "job",
                     "protocol": PROTOCOL_VERSION,
@@ -520,7 +586,7 @@ class Coordinator:
                 state.ready.set()
             await state.ready.wait()
             while True:
-                frame = await read_frame(reader)
+                frame = await channel.recv_frame()
                 if frame is None:
                     break
                 message = decode_message(frame)
@@ -532,10 +598,10 @@ class Coordinator:
                         f"unexpected message type {kind!r} from {worker_key}"
                     )
                 reply = self._next_reply(worker_key)
-                await self._send(writer, reply)
+                await self._send(channel, reply)
                 if reply["type"] == "done":
                     break
-        except (PacketFormatError, ConnectionError, OSError) as exc:
+        except (PacketFormatError, SecureTransportError, ConnectionError, OSError) as exc:
             self.log(f"coordinator: worker {worker_key or '<handshake>'} dropped: {exc}")
         except asyncio.CancelledError:
             # Only teardown cancels handlers (after the drain grace period);
@@ -586,9 +652,8 @@ class Coordinator:
         return {"type": "lease", "lease_id": lease.lease_id, "indices": list(lease.indices)}
 
     @staticmethod
-    async def _send(writer: asyncio.StreamWriter, message: dict) -> None:
-        writer.write(encode_message(message))
-        await writer.drain()
+    async def _send(channel, message: dict) -> None:
+        await channel.send_frame(message_payload(message))
 
 
 def run_distributed(
@@ -607,6 +672,8 @@ def run_distributed(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     lease_seconds: float = DEFAULT_LEASE_SECONDS,
     timeout: float | None = None,
+    transport: str = "plain",
+    credential: TransportCredential | None = None,
     log=None,
 ) -> DistributedRunResult:
     """Coordinate one distributed experiment run to completion.
@@ -618,6 +685,15 @@ def run_distributed(
     lease back until that many workers are connected (default: ``workers``
     or 1), so multi-worker timing measurements start from a level field.
 
+    ``transport="secure"`` mounts the frames on the authenticated
+    :mod:`repro.net` channel.  A ``coordinate``-style run passes its own
+    ``credential`` (loaded from key files); the spawn-local convenience mode
+    may omit it, in which case a throwaway coordinator/worker keypair and
+    allowlist are generated in a temporary directory and handed to the
+    spawned workers — the handshake is fully exercised with zero
+    provisioning.  Either way the merged artifact is byte-identical to a
+    plaintext run of the same ``(name, scale, seed)``.
+
     Artifact and cache behaviour mirror :func:`~repro.experiments.runner.
     run_experiment`: deterministic sim-backend runs write (and may be served
     from) the same canonical ``<name>.json``, byte-identical to the
@@ -627,6 +703,14 @@ def run_distributed(
         raise ValueError(f"scale must be positive, got {scale}")
     if workers < 0:
         raise ValueError(f"worker count must be >= 0, got {workers}")
+    if transport not in TRANSPORTS:
+        supported = ", ".join(TRANSPORTS)
+        raise ValueError(f"unknown transport {transport!r} (supported: {supported})")
+    if transport == "secure" and credential is None and workers == 0:
+        raise ValueError(
+            "a secure run awaiting external workers needs a TransportCredential "
+            "(key files); only the spawn-local mode can generate throwaway keys"
+        )
     experiment = get_experiment(name)
     if not experiment.shardable:
         raise ValueError(
@@ -670,7 +754,30 @@ def run_distributed(
                 redispatched=0,
                 scheme=scheme,
                 kernel=kernel,
+                transport=transport,
             )
+
+    worker_extra_args: list[str] = []
+    key_dir: tempfile.TemporaryDirectory | None = None
+    if transport == "secure" and credential is None:
+        # Spawn-local mode provisions itself: throwaway coordinator and
+        # worker keypairs plus a one-key allowlist, handed to the spawned
+        # workers as ordinary key-file flags.
+        key_dir = tempfile.TemporaryDirectory(prefix="repro-net-keys-")
+        coordinator_pair = write_keypair(Path(key_dir.name) / "coordinator.key")
+        worker_pair = write_keypair(Path(key_dir.name) / "worker.key")
+        credential = TransportCredential(
+            keypair=coordinator_pair,
+            authorized=frozenset({worker_pair.public}),
+        )
+        worker_extra_args = [
+            "--transport",
+            "secure",
+            "--keyfile",
+            str(Path(key_dir.name) / "worker.key"),
+            "--coordinator-key",
+            str(Path(key_dir.name) / "coordinator.key.pub"),
+        ]
 
     coordinator = Coordinator(
         experiment,
@@ -686,9 +793,16 @@ def run_distributed(
         lease_seconds=lease_seconds,
         min_workers=max(workers, 1) if min_workers is None else min_workers,
         timeout=timeout,
+        transport=transport,
+        credential=credential,
+        worker_extra_args=worker_extra_args,
         log=log,
     )
-    results = asyncio.run(coordinator.serve(spawn_local=workers))
+    try:
+        results = asyncio.run(coordinator.serve(spawn_local=workers))
+    finally:
+        if key_dir is not None:
+            key_dir.cleanup()
     rows = reduce_rows(experiment, trials, [_jsonify(result) for result in results])
     if artifact is not None:
         write_run_artifacts(artifact, experiment, scale, seed, trials, rows)
@@ -707,6 +821,7 @@ def run_distributed(
         redispatched=coordinator.state.redispatched,
         scheme=scheme,
         kernel=kernel,
+        transport=transport,
     )
 
 
@@ -760,6 +875,8 @@ def run_worker(
     crash_after_leases: int | None = None,
     connect_timeout: float = 10.0,
     io_timeout: float = 600.0,
+    transport: str = "plain",
+    credential: TransportCredential | None = None,
     log=None,
 ) -> int:
     """Serve one coordinator until it reports ``done``; returns an exit code.
@@ -770,8 +887,22 @@ def run_worker(
     leases normally, then dies abruptly (connection dropped, exit code 1)
     upon *receiving* the next one, leaving the coordinator to notice and
     re-enqueue it.
+
+    With ``transport="secure"`` the worker runs the initiator side of the
+    handshake right after connecting — ``credential`` supplies its static
+    keypair and the coordinator public key it expects — and every protocol
+    frame rides the AEAD channel.
     """
     log = log or (lambda message: None)
+    if transport == "secure" and (
+        credential is None or credential.remote_public is None
+    ):
+        print(
+            "worker error: the secure transport needs a keypair and the "
+            "coordinator's public key",
+            file=sys.stderr,
+        )
+        return 1
     try:
         sock = _connect_with_retry(host, port, connect_timeout)
     except OSError as exc:
@@ -783,13 +914,31 @@ def run_worker(
         return 1
     try:
         sock.settimeout(io_timeout)
+        if transport == "secure":
+            try:
+                channel = connect_secure_sync(
+                    sock, credential.keypair, credential.remote_public
+                )
+            except HandshakeError as exc:
+                print(
+                    f"worker error: secure handshake with {host}:{port} "
+                    f"failed ({exc})",
+                    file=sys.stderr,
+                )
+                return 1
+        else:
+            channel = SyncFrameChannel(sock)
+
+        def send(message: dict) -> None:
+            channel.send_frame(message_payload(message))
+
+        def recv() -> dict | None:
+            payload = channel.recv_frame()
+            return None if payload is None else decode_message(payload)
+
         label = label or f"pid-{os.getpid()}"
-        sock.sendall(
-            encode_message(
-                {"type": "hello", "protocol": PROTOCOL_VERSION, "worker": label}
-            )
-        )
-        job = _recv_message(sock)
+        send({"type": "hello", "protocol": PROTOCOL_VERSION, "worker": label})
+        job = recv()
         if job is None:
             return 1
         if job.get("type") == "error":
@@ -839,9 +988,9 @@ def run_worker(
         )
         log(f"worker {label}: joined {experiment.name} ({len(trials)} trials)")
         leases_taken = 0
-        sock.sendall(encode_message({"type": "request"}))
+        send({"type": "request"})
         while True:
-            message = _recv_message(sock)
+            message = recv()
             if message is None or message["type"] == "done":
                 # A vanished coordinator means the run finished (or was
                 # aborted) without us; either way there is nothing to do.
@@ -850,7 +999,7 @@ def run_worker(
             kind = message["type"]
             if kind == "wait":
                 time.sleep(min(float(message.get("seconds", DEFAULT_POLL_SECONDS)), 2.0))
-                sock.sendall(encode_message({"type": "request"}))
+                send({"type": "request"})
             elif kind == "lease":
                 leases_taken += 1
                 if crash_after_leases is not None and leases_taken > crash_after_leases:
@@ -861,21 +1010,19 @@ def run_worker(
                 for index in message["indices"]:
                     _, result = execute_trial(payloads[int(index)])
                     results.append([int(index), _jsonify(result)])
-                sock.sendall(
-                    encode_message(
-                        {
-                            "type": "result",
-                            "lease_id": int(message["lease_id"]),
-                            "results": results,
-                        }
-                    )
+                send(
+                    {
+                        "type": "result",
+                        "lease_id": int(message["lease_id"]),
+                        "results": results,
+                    }
                 )
             else:
                 print(
                     f"worker error: unexpected message type {kind!r}", file=sys.stderr
                 )
                 return 1
-    except PacketFormatError as exc:
+    except (PacketFormatError, SecureTransportError) as exc:
         print(f"worker error: {exc}", file=sys.stderr)
         return 1
     except OSError as exc:

@@ -1196,6 +1196,154 @@ def distributed_sharding_benchmark(scale: float = 1.0) -> list[dict]:
     return experiment_rows("distbench", scale=scale)
 
 
+# -- distributed transport sweep ----------------------------------------------------
+
+#: Worker counts the sweep shards fig11 across; counts beyond the host's
+#: CPUs are recorded as skipped rather than measured as time-slicing.
+DISTSWEEP_WORKER_COUNTS = (1, 2, 4, 8)
+
+#: Wire transports the sweep compares (same trial payloads either way).
+DISTSWEEP_TRANSPORTS = ("plain", "secure")
+
+#: The distsweep acceptance target, asserted on the median multi-worker
+#: speedup across both transports: the secure channel's handshake and
+#: per-frame AEAD must not erase the sharding win.
+DISTSWEEP_TARGET_SPEEDUP = 1.5
+
+
+def _distsweep_trials(scale: float) -> list[dict]:
+    # Same inner-scale floor as distbench: per-trial work must dominate
+    # lease round-trips for the speedups to measure sharding.
+    inner_scale = round(max(3.0 * scale, 1.5), 4)
+    return [
+        {
+            "experiment": DISTBENCH_EXPERIMENT,
+            "inner_scale": inner_scale,
+            "worker_counts": list(DISTSWEEP_WORKER_COUNTS),
+            "transports": list(DISTSWEEP_TRANSPORTS),
+        }
+    ]
+
+
+def _distsweep_run(params: dict, rng: np.random.Generator) -> dict:
+    import os
+    import tempfile
+    from pathlib import Path
+
+    from .distributed import run_distributed
+    from .runner import run_experiment
+
+    name = params["experiment"]
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < DISTBENCH_MIN_CPUS:
+        return {
+            "experiment": name,
+            "cpu_count": cpu_count,
+            "skipped": (
+                f"host has {cpu_count} CPU(s); multi-worker sharding speedups "
+                f"need >= {DISTBENCH_MIN_CPUS} to measure parallelism rather "
+                "than time-slicing"
+            ),
+        }
+    inner_scale = params["inner_scale"]
+    seed = spawn_seed(rng)
+    measurements: list[dict] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        reference = run_experiment(
+            name, scale=inner_scale, seed=seed, out_dir=root / "single", force=True
+        )
+        reference_bytes = (root / "single" / f"{name}.json").read_bytes()
+        for transport in params["transports"]:
+            base_seconds: float | None = None
+            for count in params["worker_counts"]:
+                if count > cpu_count:
+                    measurements.append(
+                        {
+                            "transport": transport,
+                            "workers": count,
+                            "skipped": (
+                                f"host has {cpu_count} CPU(s); "
+                                f"{count} workers would time-slice"
+                            ),
+                        }
+                    )
+                    continue
+                out_dir = root / f"{transport}-{count}"
+                result = run_distributed(
+                    name,
+                    scale=inner_scale,
+                    seed=seed,
+                    out_dir=out_dir,
+                    force=True,
+                    workers=count,
+                    min_workers=count,
+                    transport=transport,
+                )
+                measurement = {
+                    "transport": transport,
+                    "workers": count,
+                    "seconds": result.compute_seconds,
+                    "byte_identical": (
+                        (out_dir / f"{name}.json").read_bytes() == reference_bytes
+                    ),
+                }
+                if count == 1:
+                    base_seconds = result.compute_seconds
+                elif base_seconds is not None:
+                    measurement["speedup"] = base_seconds / max(
+                        result.compute_seconds, 1e-12
+                    )
+                measurements.append(measurement)
+    return {
+        "experiment": name,
+        "cpu_count": cpu_count,
+        "inner_scale": inner_scale,
+        "trials_sharded": reference.trial_count,
+        "measurements": measurements,
+    }
+
+
+def _distsweep_reduce(trials: list[dict], results: list[dict]) -> list[dict]:
+    # One artifact row per (transport, worker count): the speedup column is
+    # what the bench-history gate reads, the byte_identical column is the
+    # cross-transport correctness claim.
+    rows: list[dict] = []
+    for result in results:
+        if "skipped" in result:
+            rows.append(result)
+            continue
+        context = {
+            key: result[key]
+            for key in ("experiment", "cpu_count", "inner_scale", "trials_sharded")
+        }
+        for measurement in result["measurements"]:
+            rows.append({**context, **measurement})
+    return rows
+
+
+register(
+    Experiment(
+        name="distsweep",
+        title=(
+            "Distributed transport sweep: fig11 sharded across 1/2/4/8 "
+            "workers, plain vs. secure wire"
+        ),
+        build_trials=_distsweep_trials,
+        run_trial=_distsweep_run,
+        reduce=_distsweep_reduce,
+        deterministic=False,  # wall-clock timings; never serve from cache
+        kernels=("numpy",),  # it spawns worker processes of its own
+        shardable=False,  # it *runs* the coordinator; sharding it would nest fan-outs
+    )
+)
+
+
+def distributed_transport_sweep(scale: float = 1.0) -> list[dict]:
+    """Distributed transport sweep: worker-count scaling, plain vs. secure."""
+    return experiment_rows("distsweep", scale=scale)
+
+
 #: Backwards-compatible name → callable map (kept for tests and docs).
 FIGURES = {
     "fig07": figure07_anonymity_vs_malicious,
@@ -1217,4 +1365,5 @@ FIGURES = {
     "gfbench": gf_kernel_microbenchmark,
     "sphinxbench": sphinx_microbenchmark,
     "distbench": distributed_sharding_benchmark,
+    "distsweep": distributed_transport_sweep,
 }

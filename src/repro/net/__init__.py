@@ -1,0 +1,40 @@
+"""Authenticated cross-host transport for the repro TCP substrates.
+
+:mod:`repro.net.secure` holds the pure-logic Noise-style handshake and
+cipher states, :mod:`repro.net.keyfiles` the on-disk key and allowlist
+formats, and :mod:`repro.net.channel` the sync-socket and asyncio frame
+adapters that both the aio overlay backend and the distributed
+coordinator/worker protocol mount below their existing framing.
+"""
+
+from __future__ import annotations
+
+from .keyfiles import (
+    TransportCredential,
+    load_allowlist,
+    load_keypair,
+    load_public_key,
+    write_keypair,
+)
+from .secure import (
+    CipherState,
+    HandshakeState,
+    SecureSession,
+    StaticKeyPair,
+    aead_decrypt,
+    aead_encrypt,
+)
+
+__all__ = [
+    "CipherState",
+    "HandshakeState",
+    "SecureSession",
+    "StaticKeyPair",
+    "TransportCredential",
+    "aead_decrypt",
+    "aead_encrypt",
+    "load_allowlist",
+    "load_keypair",
+    "load_public_key",
+    "write_keypair",
+]

@@ -1,0 +1,155 @@
+"""On-disk key material for the secure transport.
+
+A fleet deployment provisions three kinds of file (see
+``docs/deployment.md``):
+
+* a **secret key file** — 64 hex characters (32 bytes), written with mode
+  ``0600`` by ``python -m repro.experiments keygen``;
+* its **public key file** — the derived group element as 64 hex characters
+  in ``<secret>.pub``, safe to copy between hosts;
+* an **allowlist** — one authorized worker public key per line, ``#``
+  comments and blank lines ignored, handed to the coordinator.
+
+Everything raises :class:`~repro.core.errors.KeyFileError` with a one-line
+message on malformed input so the CLI can surface it without a traceback.
+
+>>> import tempfile, pathlib
+>>> root = pathlib.Path(tempfile.mkdtemp())
+>>> pair = write_keypair(root / "coord.key", entropy=lambda n: b"\\x05" * n)
+>>> load_keypair(root / "coord.key").public == pair.public
+True
+>>> load_public_key(root / "coord.key.pub") == pair.public
+True
+>>> _ = (root / "allow").write_text("# fleet\\n" + pair.public.hex() + "\\n")
+>>> load_allowlist(root / "allow") == frozenset({pair.public})
+True
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..core.errors import KeyFileError
+from .secure import PUBLIC_KEY_SIZE, SECRET_KEY_SIZE, StaticKeyPair
+
+#: Suffix appended to a secret key path to name its public half.
+PUBLIC_SUFFIX = ".pub"
+
+
+def _read_hex(path: Path, expected_size: int, kind: str) -> bytes:
+    try:
+        text = Path(path).read_text(encoding="ascii").strip()
+    except FileNotFoundError:
+        raise KeyFileError(f"{kind} file not found: {path}") from None
+    except (OSError, UnicodeDecodeError) as exc:
+        raise KeyFileError(f"cannot read {kind} file {path}: {exc}") from None
+    try:
+        data = bytes.fromhex(text)
+    except ValueError:
+        raise KeyFileError(f"{kind} file {path} is not valid hex") from None
+    if len(data) != expected_size:
+        raise KeyFileError(
+            f"{kind} file {path} holds {len(data)} bytes, expected {expected_size}"
+        )
+    return data
+
+
+def write_keypair(
+    path: str | Path,
+    entropy: Callable[[int], bytes] = os.urandom,
+) -> StaticKeyPair:
+    """Generate a static keypair; write ``path`` (0600) and ``path.pub``."""
+    path = Path(path)
+    if path.exists():
+        raise KeyFileError(f"refusing to overwrite existing key file {path}")
+    pair = StaticKeyPair.generate(entropy)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(pair.secret.hex() + "\n", encoding="ascii")
+        os.chmod(path, 0o600)
+        public_path = path.with_name(path.name + PUBLIC_SUFFIX)
+        public_path.write_text(pair.public.hex() + "\n", encoding="ascii")
+    except OSError as exc:
+        raise KeyFileError(f"cannot write key files at {path}: {exc}") from None
+    return pair
+
+
+def load_keypair(path: str | Path) -> StaticKeyPair:
+    """Load a static keypair from a 64-hex-character secret key file."""
+    return StaticKeyPair.from_secret(
+        _read_hex(Path(path), SECRET_KEY_SIZE, "secret key")
+    )
+
+
+def load_public_key(path: str | Path) -> bytes:
+    """Load one 32-byte public key from a ``.pub`` file."""
+    return _read_hex(Path(path), PUBLIC_KEY_SIZE, "public key")
+
+
+def load_allowlist(path: str | Path) -> frozenset[bytes]:
+    """Load the coordinator's set of authorized worker public keys."""
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="ascii").splitlines()
+    except FileNotFoundError:
+        raise KeyFileError(f"allowlist file not found: {path}") from None
+    except (OSError, UnicodeDecodeError) as exc:
+        raise KeyFileError(f"cannot read allowlist file {path}: {exc}") from None
+    keys = set()
+    for lineno, line in enumerate(lines, start=1):
+        entry = line.split("#", 1)[0].strip()
+        if not entry:
+            continue
+        try:
+            key = bytes.fromhex(entry)
+        except ValueError:
+            raise KeyFileError(
+                f"allowlist {path} line {lineno} is not valid hex"
+            ) from None
+        if len(key) != PUBLIC_KEY_SIZE:
+            raise KeyFileError(
+                f"allowlist {path} line {lineno} holds {len(key)} bytes, "
+                f"expected {PUBLIC_KEY_SIZE}"
+            )
+        keys.add(key)
+    if not keys:
+        raise KeyFileError(f"allowlist {path} contains no keys")
+    return frozenset(keys)
+
+
+@dataclass(frozen=True)
+class TransportCredential:
+    """Everything one endpoint needs to run the secure transport.
+
+    ``keypair`` is the endpoint's own static identity.  For a responder
+    (coordinator, aio server) ``authorized`` is the set of initiator static
+    keys it accepts; for an initiator (worker, aio dialler)
+    ``remote_public`` is the responder static key it expects.
+    """
+
+    keypair: StaticKeyPair
+    authorized: frozenset[bytes] = frozenset()
+    remote_public: bytes | None = None
+
+    @classmethod
+    def ephemeral(
+        cls, entropy: Callable[[int], bytes] = os.urandom
+    ) -> "TransportCredential":
+        """A single-process fleet credential: one keypair trusting itself.
+
+        Used by ``run --dist --transport secure`` (which spawns its own
+        workers) and by the aio overlay backend, where every endpoint lives
+        in one process and shares the credential.
+        """
+        pair = StaticKeyPair.generate(entropy)
+        return cls(
+            keypair=pair,
+            authorized=frozenset({pair.public}),
+            remote_public=pair.public,
+        )
+
+    def is_authorized(self, public_key: bytes) -> bool:
+        return public_key in self.authorized

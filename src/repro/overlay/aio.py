@@ -4,9 +4,14 @@ The discrete-event backend (:class:`~repro.overlay.node.SimulatedOverlayNetwork`
 delivers packets by invoking callbacks on a virtual clock.  This module
 implements the *same* transport surface — :meth:`transmit_packets` /
 :meth:`transmit_blobs` / :meth:`transmit_blob`, per-node CPU accounting,
-keyed event coalescing — over localhost TCP streams, so
-:class:`~repro.overlay.node.SlicingRuntime` and the onion runtimes in
-:mod:`repro.baselines.runtime` run unchanged on either backend.
+keyed event coalescing — over real TCP streams (loopback by default, any
+interface via ``bind_host``), so :class:`~repro.overlay.node.SlicingRuntime`
+and the onion runtimes in :mod:`repro.baselines.runtime` run unchanged on
+either backend.  With ``transport="secure"`` every connection opens with the
+:mod:`repro.net` Noise-style handshake and each frame rides one AEAD
+message; because the encryption sits *below* the framing, delivered
+payloads — and the parity artifacts built from them — are bit-identical to
+a plaintext run.
 
 How the two clocks relate
 -------------------------
@@ -60,6 +65,8 @@ from typing import Callable, Sequence
 
 from ..core.errors import PacketFormatError, SimulationError
 from ..core.packet import Packet
+from ..net import TransportCredential
+from ..net.channel import accept_secure_aio, connect_secure_aio
 from .network import NetworkModel
 from .node import DEFAULT_PER_PACKET_OVERHEAD, OverlayTransport
 from .simulator import EventSimulator
@@ -251,6 +258,18 @@ class AioOverlayNetwork(OverlayTransport):
         Wall-clock watchdog: if the data plane stops making progress for this
         long while work is outstanding, :meth:`drive` raises instead of
         hanging.
+    bind_host:
+        Interface the per-address servers bind and connections dial
+        (default ``127.0.0.1``; any resolvable address works — all overlay
+        endpoints live in this process, so host and dial address coincide).
+    transport:
+        ``"plain"`` (default) or ``"secure"`` — the latter runs the
+        :mod:`repro.net` handshake per connection and AEAD-protects every
+        frame.  Delivered payloads are bit-identical either way.
+    credential:
+        Static identity and allowlist for the secure transport; defaults to
+        a per-backend ephemeral credential (every endpoint shares this
+        process, so one self-trusting keypair covers the mesh).
     """
 
     def __init__(
@@ -260,12 +279,24 @@ class AioOverlayNetwork(OverlayTransport):
         per_packet_overhead: float = DEFAULT_PER_PACKET_OVERHEAD,
         pace: float = 0.0,
         stall_timeout: float = DEFAULT_STALL_TIMEOUT,
+        bind_host: str = "127.0.0.1",
+        transport: str = "plain",
+        credential: TransportCredential | None = None,
     ) -> None:
         super().__init__(network, connection_bps, per_packet_overhead)
         if pace < 0:
             raise SimulationError(f"pace must be >= 0, got {pace}")
+        if transport not in ("plain", "secure"):
+            raise SimulationError(
+                f"unknown transport {transport!r} (supported: plain, secure)"
+            )
         self.pace = pace
         self.stall_timeout = stall_timeout
+        self.bind_host = bind_host
+        self.transport = transport
+        if transport == "secure" and credential is None:
+            credential = TransportCredential.ephemeral()
+        self.credential = credential
         self.sim = AioClock(self)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server_tasks: dict[str, asyncio.Task] = {}
@@ -451,7 +482,19 @@ class AioOverlayNetwork(OverlayTransport):
         self, sender: str, receiver: str, batch_id: int, frames: list[bytes]
     ) -> None:
         try:
-            writer = await self._connection(sender, receiver)
+            writer, session = await self._connection(sender, receiver)
+            if session is not None:
+                # Secure path: one AEAD message per frame, encrypted and
+                # handed to the transport in a single synchronous block so
+                # the cipher's nonce order always matches wire order even
+                # with several batches in flight on one connection.
+                chunks = [
+                    session.encrypt_frame(BATCH_HEADER.pack(batch_id, len(frames)))
+                ]
+                chunks.extend(session.encrypt_frame(frame) for frame in frames)
+                writer.writelines(chunks)
+                await writer.drain()
+                return
             buffer = (
                 self._prefix_buffers.pop() if self._prefix_buffers else bytearray()
             )
@@ -483,7 +526,7 @@ class AioOverlayNetwork(OverlayTransport):
         except BaseException as exc:  # noqa: B036 - must not strand _quiesce
             self._fail(exc)
 
-    async def _connection(self, sender: str, receiver: str) -> asyncio.StreamWriter:
+    async def _connection(self, sender: str, receiver: str):
         key = (sender, receiver)
         task = self._writer_tasks.get(key)
         if task is None:
@@ -494,13 +537,22 @@ class AioOverlayNetwork(OverlayTransport):
             self._writer_tasks[key] = task
         return await task
 
-    async def _open_connection(self, sender: str, receiver: str) -> asyncio.StreamWriter:
+    async def _open_connection(self, sender: str, receiver: str):
+        """Dial ``receiver``'s server; returns ``(writer, session | None)``."""
         server = await self._ensure_server(receiver)
         port = server.sockets[0].getsockname()[1]
-        _reader, writer = await asyncio.open_connection("127.0.0.1", port)
-        writer.write(encode_frame(f"{sender}\x00{receiver}".encode()))
+        reader, writer = await asyncio.open_connection(self.bind_host, port)
+        hello = f"{sender}\x00{receiver}".encode()
+        if self.transport == "secure":
+            channel = await connect_secure_aio(
+                reader, writer, self.credential.keypair, self.credential.remote_public
+            )
+            writer.write(channel.session.encrypt_frame(hello))
+            await writer.drain()
+            return writer, channel.session
+        writer.write(encode_frame(hello))
         await writer.drain()
-        return writer
+        return writer, None
 
     async def _ensure_server(self, address: str):
         # Memoised as a task (like _connection): two senders dialling the
@@ -509,7 +561,9 @@ class AioOverlayNetwork(OverlayTransport):
         task = self._server_tasks.get(address)
         if task is None:
             task = self._loop.create_task(
-                asyncio.start_server(self._handle_connection, host="127.0.0.1", port=0)
+                asyncio.start_server(
+                    self._handle_connection, host=self.bind_host, port=0
+                )
             )
             self._server_tasks[address] = task
         return await task
@@ -526,16 +580,31 @@ class AioOverlayNetwork(OverlayTransport):
             task.add_done_callback(self._handler_tasks.discard)
         self._handler_writers.add(writer)
         try:
-            hello = await read_frame(reader)
+            if self.transport == "secure":
+                channel = await accept_secure_aio(
+                    reader, writer, self.credential.keypair, self.credential.authorized
+                )
+                recv = channel.recv_frame
+            else:
+
+                async def recv(strict: bool = False) -> bytes | None:
+                    return await read_frame(reader, strict=strict)
+
+            hello = await recv()
             if hello is None:
                 return
             sender, _, receiver = hello.decode("utf-8").partition("\x00")
             while True:
-                header = await read_frame(reader)
+                header = await recv()
                 if header is None:
                     break
                 batch_id, count = BATCH_HEADER.unpack(header)
-                frames = [await read_frame(reader, strict=True) for _ in range(count)]
+                frames = []
+                for _ in range(count):
+                    frame = await recv()
+                    if frame is None:
+                        raise PacketFormatError("truncated frame header")
+                    frames.append(frame)
                 batch = self._pending.pop(batch_id)
                 await self._deliver_batch(sender, receiver, frames, batch)
         except asyncio.CancelledError:
@@ -623,7 +692,7 @@ class AioOverlayNetwork(OverlayTransport):
         writers: list[asyncio.StreamWriter] = []
         for task in self._writer_tasks.values():
             if task.done() and not task.cancelled() and task.exception() is None:
-                writers.append(task.result())
+                writers.append(task.result()[0])
             else:
                 task.cancel()
                 cancelled.append(task)

@@ -129,16 +129,34 @@ def build_substrate(
     """Instantiate an overlay transport backend by name.
 
     ``"sim"`` is the discrete-event simulator; ``"aio"`` runs the same
-    protocol runtimes over asyncio localhost TCP streams
-    (:class:`~repro.overlay.aio.AioOverlayNetwork`).  Extra keyword arguments
-    go to the backend constructor (e.g. ``pace=`` for the aio backend's
+    protocol runtimes over real asyncio TCP streams
+    (:class:`~repro.overlay.aio.AioOverlayNetwork` — loopback by default,
+    any interface via its ``bind_host`` knob).  Extra keyword arguments go
+    to the backend constructor (e.g. ``pace=`` for the aio backend's
     wall-clock link shaping).
+
+    The aio backend also honours two environment knobs so experiment code
+    that never touches constructor kwargs — the registered figure runners —
+    can still be deployed off-loopback or over the authenticated transport:
+    ``REPRO_AIO_HOST`` (bind/dial address, default ``127.0.0.1``) and
+    ``REPRO_AIO_TRANSPORT`` (``plain`` | ``secure``).  Explicit kwargs win
+    over the environment.  Structural results are bit-identical across all
+    of these settings (CI's ``aio-parity`` and ``secure-transport`` jobs
+    gate exactly that).
     """
     if backend == "sim":
         return SimulatedOverlayNetwork(network, connection_bps=connection_bps, **kwargs)
     if backend == "aio":
+        import os
+
         from .aio import AioOverlayNetwork
 
+        env_host = os.environ.get("REPRO_AIO_HOST")
+        if env_host and "bind_host" not in kwargs:
+            kwargs["bind_host"] = env_host
+        env_transport = os.environ.get("REPRO_AIO_TRANSPORT")
+        if env_transport and "transport" not in kwargs:
+            kwargs["transport"] = env_transport
         return AioOverlayNetwork(network, connection_bps=connection_bps, **kwargs)
     known = ", ".join(SUBSTRATE_BACKENDS)
     raise KeyError(f"unknown overlay backend {backend!r} (known: {known})")

@@ -28,6 +28,7 @@ def test_registry_contains_every_figure():
         "gfbench",
         "sphinxbench",
         "distbench",
+        "distsweep",
         "distinguishability",
     }
     assert expected == set(FIGURES)

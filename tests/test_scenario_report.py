@@ -178,7 +178,7 @@ def test_trajectory_section_renders(full_results):
         MATRIX, full_results, trajectory=trajectory, trajectory_source="BENCH.json"
     )
     markdown = render_markdown(report)
-    assert "| pr6 | 25× | — | — | — | — | — |" in markdown
+    assert "| pr6 | 25× | — | — | — | — | — | — |" in markdown
 
 
 # -- bench trajectory --------------------------------------------------------------
@@ -205,7 +205,7 @@ def test_summarise_gate_skipped_rows_and_na_rendering():
             ],
         }
     )
-    assert "| pr8 | — | — | — | — | n/a | — |" in table
+    assert "| pr8 | — | — | — | — | — | n/a | — |" in table
     # Measured rows still win over skipped ones when both are present.
     mixed = summarise_gate(
         {"rows": [{"speedup": 4.0}, {"skipped": "one seed could not run"}]}
@@ -225,6 +225,7 @@ def test_collect_upserts_and_reports_missing(tmp_path):
         "chaumbench",
         "dataplane-bench",
         "distbench",
+        "distsweep",
         "gfbench",
         "sphinxbench",
     ]
